@@ -1,0 +1,113 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct tests of the paper's design
+*arguments*:
+
+* §3.1.1 — per-station CoDel low-rate tuning "avoids the worst
+  starvation": disabling it must increase CoDel drops on the slow
+  station's traffic.
+* §3.2 item 2 — accounting *received* airtime lets the scheduler
+  partially compensate for uplink traffic: disabling it must not improve
+  bidirectional fairness.
+* §3.2 item 3 — the sparse-station optimisation trades nothing away:
+  bulk throughput must be essentially unchanged with it enabled.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.analysis.fairness import jain_index
+from repro.experiments.config import three_station_rates
+from repro.experiments.testbed import Testbed, TestbedOptions
+from repro.experiments.workloads import (
+    saturating_udp_download,
+    tcp_bidir,
+)
+from repro.mac.ap import APConfig, Scheme
+from repro.traffic.udp import UdpDownloadFlow
+
+
+def _slow_codel_drops(tuning_enabled: bool) -> int:
+    testbed = Testbed(
+        three_station_rates(),
+        TestbedOptions(
+            scheme=Scheme.AIRTIME,
+            seed=SEED,
+            ap_config=APConfig(codel_lowrate_tuning=tuning_enabled),
+        ),
+    )
+    drops = [0]
+
+    def hook(pkt, reason):
+        if reason == "codel" and pkt.dst_station == 2:
+            drops[0] += 1
+
+    testbed.ap.add_drop_hook(hook)
+    UdpDownloadFlow(testbed.sim, testbed.server, testbed.stations[2],
+                    rate_bps=3e6).start()
+    testbed.run(DURATION_S, WARMUP_S)
+    return drops[0]
+
+
+def _bidir_jain(account_rx: bool) -> float:
+    testbed = Testbed(
+        three_station_rates(),
+        TestbedOptions(
+            scheme=Scheme.AIRTIME,
+            seed=SEED,
+            ap_config=APConfig(account_rx_airtime=account_rx),
+        ),
+    )
+    tcp_bidir(testbed)
+    testbed.run(DURATION_S, WARMUP_S)
+    return testbed.tracker.jain_airtime([0, 1, 2])
+
+
+def _bulk_total(sparse_enabled: bool) -> float:
+    testbed = Testbed(
+        three_station_rates(),
+        TestbedOptions(
+            scheme=Scheme.AIRTIME,
+            seed=SEED,
+            ap_config=APConfig(sparse_enabled=sparse_enabled),
+        ),
+    )
+    saturating_udp_download(testbed)
+    window_us = testbed.run(DURATION_S, WARMUP_S)
+    return sum(
+        testbed.tracker.throughput_bps(i, window_us) for i in range(3)
+    ) / 1e6
+
+
+def test_ablation_codel_lowrate_tuning(benchmark):
+    on, off = benchmark.pedantic(
+        lambda: (_slow_codel_drops(True), _slow_codel_drops(False)),
+        rounds=1, iterations=1,
+    )
+    emit("Ablation — CoDel low-rate tuning (§3.1.1)",
+         f"slow-station CoDel drops: tuning on = {on}, tuning off = {off}")
+    assert on <= off
+
+
+def test_ablation_rx_airtime_accounting(benchmark):
+    with_rx, without_rx = benchmark.pedantic(
+        lambda: (_bidir_jain(True), _bidir_jain(False)),
+        rounds=1, iterations=1,
+    )
+    emit("Ablation — RX airtime accounting (§3.2)",
+         f"bidirectional Jain index: accounting on = {with_rx:.3f}, "
+         f"off = {without_rx:.3f}")
+    # Accounting uplink airtime must not make fairness worse.
+    assert with_rx >= without_rx - 0.05
+
+
+def test_ablation_sparse_station_cost(benchmark):
+    with_opt, without_opt = benchmark.pedantic(
+        lambda: (_bulk_total(True), _bulk_total(False)),
+        rounds=1, iterations=1,
+    )
+    emit("Ablation — sparse-station optimisation cost",
+         f"bulk UDP total: optimisation on = {with_opt:.1f} Mbps, "
+         f"off = {without_opt:.1f} Mbps")
+    # The optimisation must cost (essentially) nothing in bulk throughput.
+    assert with_opt > without_opt * 0.97

@@ -1,0 +1,35 @@
+"""Figures 1 and 4: ping latency under TCP download load, per scheme.
+
+Paper reference: FIFO at several hundred ms for all stations; FQ-CoDel
+fast ~35 ms / slow >200 ms; FQ-MAC an order of magnitude below FIFO for
+both classes (Airtime matches FQ-MAC).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import latency
+from repro.mac.ap import Scheme
+
+
+def test_fig04_latency_cdf(benchmark):
+    results = benchmark.pedantic(
+        lambda: latency.run(duration_s=max(DURATION_S, 12.0),
+                            warmup_s=max(WARMUP_S, 6.0), seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 4 — latency with TCP download", latency.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    fifo = by_scheme[Scheme.FIFO]
+    fq_mac = by_scheme[Scheme.FQ_MAC]
+    airtime = by_scheme[Scheme.AIRTIME]
+    # Order-of-magnitude reduction for the fast stations.
+    assert fifo.fast_summary().median > 4 * fq_mac.fast_summary().median
+    # FQ-MAC and Airtime are comparable (the paper omits Airtime from the
+    # figure because it adds nothing over FQ-MAC here).
+    assert airtime.fast_summary().median < 3 * fq_mac.fast_summary().median
+    # The slow station improves dramatically from FQ-CoDel to FQ-MAC.
+    fq_codel = by_scheme[Scheme.FQ_CODEL]
+    assert fq_mac.slow_summary().median < fq_codel.slow_summary().median

@@ -1,0 +1,30 @@
+"""Figure 5: airtime shares for one-way UDP, per scheme.
+
+Paper reference: slow station ~80% under FIFO/FQ-CoDel; FQ-MAC moves
+toward the transmission-time ratio (~50% slow); Airtime gives 1/3 each.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import airtime_udp
+from repro.mac.ap import Scheme
+
+
+def test_fig05_airtime_shares(benchmark):
+    results = benchmark.pedantic(
+        lambda: airtime_udp.run(duration_s=DURATION_S, warmup_s=WARMUP_S,
+                                seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5 — airtime shares, one-way UDP",
+         airtime_udp.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    assert by_scheme[Scheme.FIFO].airtime_shares[2] > 0.6
+    assert by_scheme[Scheme.FQ_CODEL].airtime_shares[2] > 0.6
+    # FQ-MAC: better, but not airtime-fair.
+    assert 0.38 < by_scheme[Scheme.FQ_MAC].airtime_shares[2] < 0.6
+    for share in by_scheme[Scheme.AIRTIME].airtime_shares.values():
+        assert abs(share - 1 / 3) < 0.03

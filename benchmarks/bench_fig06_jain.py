@@ -1,0 +1,34 @@
+"""Figure 6: Jain's fairness index of airtime across traffic types.
+
+Paper reference: FIFO/FQ-CoDel far from fair for UDP and TCP download;
+Airtime near-perfect for unidirectional traffic with a slight dip for
+bidirectional (indirect uplink control).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import fairness_index
+from repro.mac.ap import Scheme
+
+
+def test_fig06_jain_index(benchmark):
+    results = benchmark.pedantic(
+        lambda: fairness_index.run(duration_s=DURATION_S, warmup_s=WARMUP_S,
+                                   seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 6 — Jain's fairness index of airtime",
+         fairness_index.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    airtime = by_scheme[Scheme.AIRTIME]
+    fifo = by_scheme[Scheme.FIFO]
+    # Near-perfect airtime fairness for one-way traffic.
+    assert airtime.jain["udp"] > 0.98
+    # FIFO far from fair for UDP.
+    assert fifo.jain["udp"] < 0.7
+    # The airtime scheduler dominates FIFO for every traffic type.
+    for traffic in ("udp", "tcp_download"):
+        assert airtime.jain[traffic] > fifo.jain[traffic]

@@ -1,0 +1,31 @@
+"""Figure 7: per-station TCP download throughput, per scheme.
+
+Paper reference: fast stations ~10 Mbps under FIFO rising to ~35 Mbps
+under Airtime; the slow station drops from ~5 to ~2-3 Mbps; the total
+rises substantially.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import tcp_throughput
+from repro.mac.ap import Scheme
+
+
+def test_fig07_tcp_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: tcp_throughput.run(duration_s=max(DURATION_S, 12.0),
+                                   warmup_s=max(WARMUP_S, 5.0), seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 7 — TCP download throughput",
+         tcp_throughput.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    fifo = by_scheme[Scheme.FIFO]
+    airtime = by_scheme[Scheme.AIRTIME]
+    # Fast stations win, the slow station pays, the total rises.
+    assert airtime.download_mbps[0] > 2 * fifo.download_mbps[0]
+    assert airtime.download_mbps[2] < fifo.download_mbps[2]
+    assert airtime.total_mbps > 1.5 * fifo.total_mbps

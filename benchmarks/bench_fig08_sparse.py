@@ -1,0 +1,26 @@
+"""Figure 8: the sparse-station optimisation (on vs off, UDP and TCP bulk).
+
+Paper reference: a consistent 10-15% median RTT reduction for the
+ping-only fourth station when the optimisation is enabled.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import sparse
+
+
+def test_fig08_sparse_station(benchmark):
+    results = benchmark.pedantic(
+        lambda: sparse.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 8 — sparse-station optimisation", sparse.format_table(results))
+
+    by_key = {(r.bulk_traffic, r.sparse_enabled): r for r in results}
+    for bulk in ("udp", "tcp"):
+        enabled = by_key[(bulk, True)].summary().median
+        disabled = by_key[(bulk, False)].summary().median
+        # A consistent improvement with the optimisation on.
+        assert enabled < disabled

@@ -1,0 +1,40 @@
+"""Figure 9 + Section 4.1.5 totals: 30-station airtime shares and
+throughput gain.
+
+Paper reference: the 1 Mbps station grabs ~2/3 of the airtime under
+FQ-CoDel despite 28 fast competitors; the airtime scheduler equalises all
+29 shares; total throughput rises 5.4x (3.3 -> 17.7 Mbps).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SCALING_DURATION_S,
+    SCALING_WARMUP_S,
+    SEED,
+    emit,
+)
+from repro.experiments import scaling
+from repro.mac.ap import Scheme
+
+
+def test_fig09_scaling_airtime(benchmark):
+    results = benchmark.pedantic(
+        lambda: scaling.run(duration_s=SCALING_DURATION_S,
+                            warmup_s=SCALING_WARMUP_S, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 9 / §4.1.5 — 30-station airtime and throughput",
+         scaling.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    fq_codel = by_scheme[Scheme.FQ_CODEL]
+    airtime = by_scheme[Scheme.AIRTIME]
+    # The slow station dominates without airtime fairness...
+    assert fq_codel.slow_share > 0.3
+    # ...and is brought to an equal 1/29 share with it.
+    assert airtime.slow_share < 0.08
+    assert max(airtime.airtime_shares.values()) < 0.08
+    # Total throughput multiplies.
+    assert airtime.total_mbps > 2 * fq_codel.total_mbps

@@ -1,0 +1,39 @@
+"""Figure 10: latency in the 30-station TCP test.
+
+Paper reference: with the airtime scheduler the fast stations' latency
+improves alongside their throughput while the slow (1 Mbps) station —
+now held to its fair 1/29 airtime share — pays with higher latency; the
+sparse ping-only station improves ~2x.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SCALING_DURATION_S,
+    SCALING_WARMUP_S,
+    SEED,
+    emit,
+)
+from repro.experiments import scaling
+from repro.mac.ap import Scheme
+
+
+def test_fig10_scaling_latency(benchmark):
+    results = benchmark.pedantic(
+        lambda: scaling.run(duration_s=SCALING_DURATION_S,
+                            warmup_s=SCALING_WARMUP_S, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 10 — 30-station latency", scaling.format_table(results))
+
+    by_scheme = {r.scheme: r for r in results}
+    fq_codel = by_scheme[Scheme.FQ_CODEL]
+    airtime = by_scheme[Scheme.AIRTIME]
+    summaries_codel = fq_codel.summaries()
+    summaries_air = airtime.summaries()
+    # The slow station's latency stays an order of magnitude above the
+    # fast stations' under airtime fairness (it gets 1/29 of the air).
+    assert summaries_air["slow"].median > 2 * summaries_air["fast"].median
+    # The sparse station benefits substantially from the optimisation.
+    assert summaries_air["sparse"].median < summaries_codel["sparse"].median

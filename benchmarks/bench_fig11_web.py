@@ -1,0 +1,34 @@
+"""Figure 11: web page-load time for a fast station while the slow
+station runs a bulk transfer.
+
+Paper reference: PLT decreases monotonically FIFO -> FQ-CoDel -> FQ-MAC
+-> Airtime, with an order-of-magnitude jump from FIFO to FQ-CoDel (the
+large page takes 35 s under FIFO).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SEED, WEB_DURATION_S, emit
+from repro.experiments import web
+from repro.mac.ap import Scheme
+from repro.traffic.web import LARGE_PAGE, SMALL_PAGE
+
+
+def test_fig11_web_plt(benchmark):
+    results = benchmark.pedantic(
+        lambda: web.run(duration_s=WEB_DURATION_S, warmup_s=5.0, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 11 — page load times (fast station)", web.format_table(results))
+
+    by_key = {(r.scheme, r.page): r for r in results}
+    for page in ("small", "large"):
+        fifo = by_key[(Scheme.FIFO, page)].mean_plt_s
+        fq_codel = by_key[(Scheme.FQ_CODEL, page)].mean_plt_s
+        airtime = by_key[(Scheme.AIRTIME, page)].mean_plt_s
+        # Large FIFO-to-FQ-CoDel improvement; Airtime at least as good.
+        assert fq_codel < fifo
+        assert airtime <= fq_codel * 1.25
+    # The FIFO large-page fetch is dramatically slow (paper: 35 s).
+    assert by_key[(Scheme.FIFO, "large")].mean_plt_s > 3.0

@@ -1,0 +1,29 @@
+"""Table 1: analytical model vs measured UDP throughput.
+
+Paper reference (Table 1):
+    FIFO:    T(i) = 10%/11%/79%, R(i) = 9.7/11.4/5.1, measured 7.1/6.3/5.3
+    Airtime: T(i) = 33% each,    R(i) = 42.2/42.3/2.2, measured 38.8/35.6/2.0
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 1 — analytical model vs measured UDP throughput",
+         table1.format_table(result))
+
+    # Shape assertions: the anomaly and its resolution.
+    assert result.baseline_airtime_shares[2] > 0.6
+    for share in result.fair_airtime_shares:
+        assert abs(share - 1 / 3) < 0.05
+    baseline_total = sum(result.baseline_measured_mbps)
+    fair_total = sum(result.fair_measured_mbps)
+    assert fair_total > 2.5 * baseline_total

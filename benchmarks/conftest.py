@@ -1,0 +1,31 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper and
+prints the same rows/series the paper reports.  By default the runs are
+scaled down (a few simulated seconds instead of the paper's 30 s x 30
+repetitions) so the whole suite finishes in minutes; set ``REPRO_FULL=1``
+in the environment for full-length runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: (duration_s, warmup_s) per mode.
+DURATION_S = 30.0 if FULL else 8.0
+WARMUP_S = 10.0 if FULL else 4.0
+#: The 30-station test runs 5-minute tests in the paper.
+SCALING_DURATION_S = 300.0 if FULL else 10.0
+SCALING_WARMUP_S = 30.0 if FULL else 5.0
+#: Web tests need enough wall-clock for several page fetches.
+WEB_DURATION_S = 60.0 if FULL else 20.0
+
+SEED = 1
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table with a recognisable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,24 @@
+"""Measurement and analysis: airtime, fairness, distributions, MOS."""
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.mos import EModelParams, estimate_mos, mos_from_r, r_factor
+from repro.analysis.stats import (
+    AirtimeTracker,
+    Summary,
+    cdf_points,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "AirtimeTracker",
+    "EModelParams",
+    "Summary",
+    "cdf_points",
+    "estimate_mos",
+    "jain_index",
+    "mos_from_r",
+    "percentile",
+    "r_factor",
+    "summarize",
+]

@@ -1,0 +1,26 @@
+"""Fairness metrics: Jain's fairness index (Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["jain_index"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Returns 1.0 for perfectly equal allocations and approaches ``1/n``
+    when one participant takes everything.  An empty or all-zero input
+    yields 1.0 (vacuous fairness).
+    """
+    xs = list(values)
+    if not xs:
+        return 1.0
+    if any(x < 0 for x in xs):
+        raise ValueError("Jain's index requires non-negative values")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(xs) * squares)

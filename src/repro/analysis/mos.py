@@ -1,0 +1,94 @@
+"""VoIP quality estimation — the ITU-T G.107 E-model (Section 4.2.1).
+
+The paper estimates a Mean Opinion Score from measured delay, jitter and
+packet loss, fixing all audio/codec parameters at their G.107 defaults.
+This module implements that reduced E-model:
+
+* the delay impairment ``Id`` from the one-way mouth-to-ear delay
+  (G.107's piecewise approximation with the 177.3 ms knee);
+* the effective equipment impairment ``Ie_eff`` for a G.711-like codec
+  (``Ie = 0``, packet-loss robustness ``Bpl = 4.3``);
+* jitter folded into the mouth-to-ear delay through an adaptive jitter
+  buffer sized at twice the measured jitter;
+* ``MOS`` from the rating factor ``R`` via the standard G.107 mapping,
+  clamped to the model's 1–4.5 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EModelParams", "r_factor", "mos_from_r", "estimate_mos"]
+
+#: Default rating factor with all G.107 parameters at defaults.
+R0_DEFAULT = 93.2
+#: Codec + packetisation delay added to the network delay (ms).
+CODEC_DELAY_MS = 10.0
+#: G.711 packet-loss robustness factor (random loss).
+BPL_G711 = 4.3
+
+
+@dataclass(frozen=True)
+class EModelParams:
+    """Tunable E-model inputs (defaults follow G.107 / the paper)."""
+
+    r0: float = R0_DEFAULT
+    ie: float = 0.0
+    bpl: float = BPL_G711
+    codec_delay_ms: float = CODEC_DELAY_MS
+    jitter_buffer_factor: float = 2.0
+
+
+def _delay_impairment(ta_ms: float) -> float:
+    """``Id`` from the one-way delay (G.107 simplified form)."""
+    impairment = 0.024 * ta_ms
+    if ta_ms > 177.3:
+        impairment += 0.11 * (ta_ms - 177.3)
+    return impairment
+
+
+def _loss_impairment(loss_fraction: float, params: EModelParams) -> float:
+    """``Ie_eff`` from the packet-loss probability."""
+    ppl = max(0.0, min(1.0, loss_fraction)) * 100.0
+    return params.ie + (95.0 - params.ie) * ppl / (ppl + params.bpl)
+
+
+def r_factor(
+    delay_ms: float,
+    jitter_ms: float,
+    loss_fraction: float,
+    params: EModelParams = EModelParams(),
+) -> float:
+    """Transmission rating factor ``R`` for the measured network path."""
+    if delay_ms < 0 or jitter_ms < 0:
+        raise ValueError("delay and jitter must be non-negative")
+    mouth_to_ear_ms = (
+        delay_ms
+        + params.jitter_buffer_factor * jitter_ms
+        + params.codec_delay_ms
+    )
+    return (
+        params.r0
+        - _delay_impairment(mouth_to_ear_ms)
+        - _loss_impairment(loss_fraction, params)
+    )
+
+
+def mos_from_r(r: float) -> float:
+    """Map ``R`` to MOS (G.107 Annex B), clamped to [1, 4.5]."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r)
+    return max(1.0, min(4.5, mos))
+
+
+def estimate_mos(
+    delay_ms: float,
+    jitter_ms: float,
+    loss_fraction: float,
+    params: EModelParams = EModelParams(),
+) -> float:
+    """MOS estimate from measured one-way delay, jitter and loss."""
+    return mos_from_r(r_factor(delay_ms, jitter_ms, loss_fraction, params))

@@ -1,0 +1,86 @@
+"""Dependency-free text plots for experiment results.
+
+The paper presents most results as CDFs and grouped bar charts; this
+module renders both as unicode text so the examples and the CLI can show
+distribution *shapes* without matplotlib (the offline environment has no
+plotting stack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.stats import percentile
+
+__all__ = ["text_cdf", "text_bars"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A horizontal bar of ``fraction * width`` character cells."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def text_cdf(
+    samples: Sequence[float],
+    width: int = 50,
+    rows: int = 10,
+    unit: str = "ms",
+    log_x: bool = False,
+) -> str:
+    """Render an empirical CDF as rows of (probability, value, bar).
+
+    With ``log_x`` the bar length is proportional to log10(value), which
+    matches the paper's log-scaled latency CDFs (Figures 1, 4, 10).
+    """
+    if not samples:
+        return "(no samples)"
+    import math
+
+    lines = []
+    lo = min(samples)
+    hi = max(samples)
+    for i in range(1, rows + 1):
+        prob = i / rows * 100.0
+        value = percentile(samples, prob)
+        if log_x and lo > 0 and hi > lo:
+            fraction = (math.log10(value) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        elif hi > 0:
+            fraction = value / hi
+        else:
+            fraction = 0.0
+        label = f"p{prob:.1f}"
+        lines.append(
+            f"  {label:>6} {value:10.2f} {unit} |{_bar(fraction, width)}"
+        )
+    return "\n".join(lines)
+
+
+def text_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Render a labelled bar chart (one row per key)."""
+    if not values:
+        return "(no data)"
+    top = max_value if max_value is not None else max(values.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        lines.append(
+            f"  {key:>{label_width}} {value:10.2f}{unit} "
+            f"|{_bar(value / top, width)}"
+        )
+    return "\n".join(lines)

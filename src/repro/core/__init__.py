@@ -1,0 +1,53 @@
+"""The paper's core contribution: queueing structure and airtime scheduler.
+
+* :mod:`repro.core.codel` — CoDel AQM with per-station low-rate tuning.
+* :mod:`repro.core.fq_codel` — flow queues and per-TID DRR lists.
+* :mod:`repro.core.mac_fq` — the integrated per-TID structure (Alg. 1–2).
+* :mod:`repro.core.airtime` — the airtime fairness scheduler (Alg. 3).
+* :mod:`repro.core.station_rr` — the stock round-robin baseline.
+"""
+
+from repro.core.airtime import DEFAULT_AIRTIME_QUANTUM_US, AirtimeScheduler
+from repro.core.codel import (
+    CODEL_DEFAULT,
+    CODEL_SLOW_STATION,
+    CoDelParams,
+    CoDelState,
+    PerStationCoDelTuner,
+    codel_dequeue,
+)
+from repro.core.fq_codel import (
+    DEFAULT_QUANTUM_BYTES,
+    FlowQueue,
+    TidState,
+    hash_flow,
+)
+from repro.core.mac_fq import (
+    DEFAULT_GLOBAL_LIMIT,
+    DEFAULT_NUM_QUEUES,
+    MacFqStructure,
+)
+from repro.core.packet import AccessCategory, Packet, flow_id_allocator
+from repro.core.station_rr import RoundRobinScheduler
+
+__all__ = [
+    "AccessCategory",
+    "AirtimeScheduler",
+    "CODEL_DEFAULT",
+    "CODEL_SLOW_STATION",
+    "CoDelParams",
+    "CoDelState",
+    "DEFAULT_AIRTIME_QUANTUM_US",
+    "DEFAULT_GLOBAL_LIMIT",
+    "DEFAULT_NUM_QUEUES",
+    "DEFAULT_QUANTUM_BYTES",
+    "FlowQueue",
+    "MacFqStructure",
+    "Packet",
+    "PerStationCoDelTuner",
+    "RoundRobinScheduler",
+    "TidState",
+    "codel_dequeue",
+    "flow_id_allocator",
+    "hash_flow",
+]

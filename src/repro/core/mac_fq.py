@@ -1,0 +1,205 @@
+"""The paper's integrated per-TID queueing structure (Algorithms 1 and 2).
+
+One :class:`MacFqStructure` instance replaces the qdisc layer and the
+driver's per-TID FIFOs for the FQ-MAC and Airtime configurations (Figure 3):
+
+* a fixed global pool of flow queues is shared by *all* TIDs — a queue is
+  assigned to the TID of the first packet hashed into it and released when
+  it drains (Algorithm 1 lines 5–8, Algorithm 2 line 18);
+* hash collisions across TIDs fall back to a TID-specific overflow queue;
+* one global packet limit covers the whole structure, and overflow drops
+  from the globally longest queue, which is what keeps a slow station from
+  locking out everyone else's queue space (Section 4.1.2);
+* dequeueing within a TID is FQ-CoDel's DRR with the sparse-flow (new
+  queue) optimisation, with CoDel applied per queue using per-station
+  parameters (Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.codel import PerStationCoDelTuner, codel_dequeue
+from repro.core.fq_codel import (
+    DEFAULT_QUANTUM_BYTES,
+    FlowQueue,
+    TidState,
+    hash_flow,
+)
+from repro.core.packet import Packet
+
+__all__ = ["MacFqStructure", "DEFAULT_GLOBAL_LIMIT", "DEFAULT_NUM_QUEUES"]
+
+#: Global packet limit of the mac80211 structure (Figure 3: 8192).
+DEFAULT_GLOBAL_LIMIT = 8192
+#: Number of flow queues in the shared pool (mac80211 uses 4096).
+DEFAULT_NUM_QUEUES = 4096
+
+DropCallback = Callable[[Packet, str], None]
+
+
+class MacFqStructure:
+    """Shared-pool per-TID FQ-CoDel (the paper's Algorithms 1 and 2).
+
+    Parameters
+    ----------
+    now_fn:
+        Returns the current time in µs (CoDel needs timestamps).
+    num_queues, limit, quantum:
+        Pool size, global packet limit, and DRR quantum in bytes.
+    codel_tuner:
+        Supplies per-station CoDel parameters; defaults to stock CoDel
+        everywhere.
+    on_drop:
+        Called for every dropped packet with a reason ('overlimit' or
+        'codel'), so experiments and transports can observe losses.
+    """
+
+    def __init__(
+        self,
+        now_fn: Callable[[], float],
+        num_queues: int = DEFAULT_NUM_QUEUES,
+        limit: int = DEFAULT_GLOBAL_LIMIT,
+        quantum: int = DEFAULT_QUANTUM_BYTES,
+        codel_tuner: Optional[PerStationCoDelTuner] = None,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        if num_queues <= 0 or limit <= 0 or quantum <= 0:
+            raise ValueError("num_queues, limit and quantum must be positive")
+        self._now = now_fn
+        self.limit = limit
+        self.quantum = quantum
+        self.codel_tuner = codel_tuner or PerStationCoDelTuner(enabled=False)
+        self.on_drop = on_drop
+
+        self._queues = [FlowQueue(i) for i in range(num_queues)]
+        self._tids: dict[tuple, TidState] = {}
+        self._overflow_counter = 0
+
+        #: Total packets queued across every TID (the "global limit" gauge).
+        self.backlog_packets = 0
+        #: Drop counters by reason.
+        self.drops_overlimit = 0
+        self.drops_codel = 0
+
+    # ------------------------------------------------------------------
+    # TID management
+    # ------------------------------------------------------------------
+    def tid(self, station: Optional[int], ac: object) -> TidState:
+        """Return (creating on first use) the TID for ``(station, ac)``."""
+        key = (station, ac)
+        state = self._tids.get(key)
+        if state is None:
+            # Overflow queues live outside the hashed pool; give them
+            # negative indices so they can't collide with pool queues.
+            self._overflow_counter += 1
+            overflow = FlowQueue(-self._overflow_counter)
+            state = TidState(station, ac, overflow)
+            self._tids[key] = state
+        return state
+
+    def tids(self) -> Iterable[TidState]:
+        return self._tids.values()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: enqueue
+    # ------------------------------------------------------------------
+    def enqueue(self, pkt: Packet, tid: TidState) -> None:
+        """Enqueue ``pkt`` for ``tid`` (Algorithm 1)."""
+        if self.backlog_packets >= self.limit:
+            self._drop_from_longest_queue()
+
+        queue = self._queues[hash_flow(pkt.flow_id, len(self._queues))]
+        if queue.tid is not None and queue.tid is not tid:
+            queue = tid.overflow_queue
+        queue.tid = tid
+
+        pkt.enqueue_us = self._now()
+        queue.append(pkt)
+        tid.backlog += 1
+        self.backlog_packets += 1
+
+        if queue.membership is None:
+            # A (re)activating queue starts with a fresh quantum, as in
+            # Linux fq_codel — without this the new-queue priority of the
+            # sparse-flow optimisation would be consumed by the deficit
+            # top-up loop before the queue is ever served.
+            queue.deficit = self.quantum
+            tid.add_new(queue)
+
+    def _drop_from_longest_queue(self) -> None:
+        """Drop the head packet of the globally longest queue."""
+        longest: Optional[FlowQueue] = None
+        for tid in self._tids.values():
+            for queue in tid.new_queues:
+                if longest is None or len(queue) > len(longest):
+                    longest = queue
+            for queue in tid.old_queues:
+                if longest is None or len(queue) > len(longest):
+                    longest = queue
+        if longest is None or not longest.pkts:  # pragma: no cover
+            return
+        pkt = longest.pop_head()
+        assert pkt is not None
+        self._account_drop(longest, pkt, "overlimit")
+
+    def _account_drop(self, queue: FlowQueue, pkt: Packet, reason: str) -> None:
+        tid = queue.tid
+        assert isinstance(tid, TidState)
+        tid.backlog -= 1
+        self.backlog_packets -= 1
+        if reason == "overlimit":
+            self.drops_overlimit += 1
+        else:
+            self.drops_codel += 1
+        if self.on_drop is not None:
+            self.on_drop(pkt, reason)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: dequeue
+    # ------------------------------------------------------------------
+    def dequeue(self, tid: TidState) -> Optional[Packet]:
+        """Dequeue one packet from ``tid`` (Algorithm 2), or ``None``."""
+        now = self._now()
+        params = self.codel_tuner.params_for(tid.station)
+        while True:
+            queue = tid.schedulable_queue()
+            if queue is None:
+                return None
+
+            if queue.deficit <= 0:
+                queue.deficit += self.quantum
+                tid.move_to_old(queue)
+                continue
+
+            pkt = codel_dequeue(
+                queue,
+                queue.codel,
+                now,
+                params,
+                on_drop=lambda p, q=queue: self._account_drop(q, p, "codel"),
+            )
+            if pkt is None:
+                # Queue emptied: a new queue gets one pass through the old
+                # list before deletion (the anti-gaming rule FQ-CoDel
+                # applies to its sparse-flow optimisation).
+                if queue.membership == "new":
+                    tid.move_to_old(queue)
+                else:
+                    tid.delete_queue(queue)
+                continue
+
+            queue.deficit -= pkt.size
+            tid.backlog -= 1
+            self.backlog_packets -= 1
+            return pkt
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def tid_backlog(self, tid: TidState) -> int:
+        return tid.backlog
+
+    @property
+    def total_drops(self) -> int:
+        return self.drops_overlimit + self.drops_codel

@@ -1,0 +1,126 @@
+"""Packet representation shared by all layers of the simulator.
+
+A :class:`Packet` is the simulator's stand-in for an ``sk_buff``: it carries
+just enough header information for queueing (flow identity, destination
+station, access category), for the transports built on top (sequence
+numbers), and for measurement (timestamps).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import IntEnum
+from typing import Any, Optional
+
+__all__ = ["AccessCategory", "Packet", "flow_id_allocator"]
+
+
+class AccessCategory(IntEnum):
+    """802.11e access categories, in increasing priority order.
+
+    The paper's experiments use BE (all bulk/benchmark traffic) and VO
+    (the high-priority voice queue in Table 2).  BK and VI are modelled for
+    completeness; they behave like BE except for their TID numbering.
+    """
+
+    BK = 0
+    BE = 1
+    VI = 2
+    VO = 3
+
+    @property
+    def aggregates(self) -> bool:
+        """VO frames are never aggregated (802.11e; see Section 4.2.1)."""
+        return self is not AccessCategory.VO
+
+
+_pid_counter = itertools.count(1)
+_flow_counter = itertools.count(1)
+
+
+def flow_id_allocator() -> int:
+    """Allocate a process-unique flow identifier.
+
+    Flow ids seed the hash that maps packets to FQ-CoDel sub-queues, so two
+    transport flows with different ids land in different queues (modulo
+    hash collisions, which Algorithm 1 handles via the overflow queue).
+    """
+    return next(_flow_counter)
+
+
+class Packet:
+    """One network packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Transport-flow identity used for FQ hashing.
+    size:
+        Wire size in bytes (IP packet size); this is the A-MPDU payload
+        length ``l`` of eq. (1).
+    src_station / dst_station:
+        Station index for the WiFi hop (``None`` means the wired server
+        side).  Downstream packets have ``dst_station`` set; upstream
+        packets have ``src_station`` set.
+    ac:
+        802.11e access category.
+    proto:
+        Transport label ('udp', 'tcp', 'icmp', 'voip', ...), used only for
+        accounting and debugging.
+    seq:
+        Transport sequence number (TCP byte sequence / probe index).
+    created_us:
+        Time the packet was handed to the network stack.
+    enqueue_us:
+        Time the packet entered its current queue; CoDel's sojourn-time
+        input (Algorithm 1 line 9 timestamps on enqueue).
+    meta:
+        Optional per-transport scratch space.
+    """
+
+    __slots__ = (
+        "pid",
+        "flow_id",
+        "size",
+        "src_station",
+        "dst_station",
+        "ac",
+        "proto",
+        "seq",
+        "created_us",
+        "enqueue_us",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        size: int,
+        *,
+        dst_station: Optional[int] = None,
+        src_station: Optional[int] = None,
+        ac: AccessCategory = AccessCategory.BE,
+        proto: str = "udp",
+        seq: int = 0,
+        created_us: float = 0.0,
+        meta: Optional[dict[str, Any]] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("packet size must be positive")
+        self.pid = next(_pid_counter)
+        self.flow_id = flow_id
+        self.size = size
+        self.src_station = src_station
+        self.dst_station = dst_station
+        self.ac = ac
+        self.proto = proto
+        self.seq = seq
+        self.created_us = created_us
+        self.enqueue_us = created_us
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, flow={self.flow_id}, size={self.size}, "
+            f"proto={self.proto}, seq={self.seq}, dst={self.dst_station})"
+        )

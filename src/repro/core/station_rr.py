@@ -1,0 +1,69 @@
+"""Round-robin station scheduler — the stock driver's behaviour.
+
+The unmodified ath9k driver services backlogged TIDs in round-robin order,
+one aggregate per turn (Figure 2, "RR").  Equal transmission *opportunities*
+produce throughput fairness, which is exactly the 802.11 performance
+anomaly: a slow station's turns occupy far more airtime than a fast
+station's (eq. 4, the "otherwise" branch).
+
+This scheduler drives the FIFO, FQ-CoDel, and FQ-MAC configurations; only
+the Airtime configuration replaces it with
+:class:`repro.core.airtime.AirtimeScheduler`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler:
+    """Serve backlogged stations one aggregate at a time, in turn.
+
+    Exposes the same interface as
+    :class:`repro.core.airtime.AirtimeScheduler` so the access point can
+    swap schedulers per configuration; the airtime-report hooks are
+    accepted and ignored.
+    """
+
+    def __init__(
+        self,
+        has_backlog: Callable[[int], bool],
+        build_aggregate: Callable[[int], int],
+        hw_full: Callable[[], bool],
+    ) -> None:
+        self._has_backlog = has_backlog
+        self._build_aggregate = build_aggregate
+        self._hw_full = hw_full
+        self._ring: Deque[int] = deque()
+        self._queued: Dict[int, bool] = {}
+
+    def wake(self, station: int) -> None:
+        """Add ``station`` to the service ring if not already present."""
+        if not self._queued.get(station, False):
+            self._ring.append(station)
+            self._queued[station] = True
+
+    # Airtime hooks: the stock scheduler is airtime-oblivious.
+    def report_tx_airtime(self, station: int, airtime_us: float) -> None:
+        return None
+
+    def report_rx_airtime(self, station: int, airtime_us: float) -> None:
+        return None
+
+    def schedule(self) -> None:
+        """Fill the hardware queue, one aggregate per backlogged station."""
+        while not self._hw_full() and self._ring:
+            station = self._ring[0]
+            if not self._has_backlog(station):
+                self._ring.popleft()
+                self._queued[station] = False
+                continue
+            built = self._build_aggregate(station)
+            self._ring.rotate(-1)
+            if built <= 0:
+                # Defensive against a disagreeing backlog/build pair.
+                self._ring.remove(station)
+                self._queued[station] = False

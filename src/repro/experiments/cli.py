@@ -1,0 +1,141 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli table1
+    python -m repro.experiments.cli fig05 --duration 30 --warmup 10
+    python -m repro.experiments.cli all
+
+Each experiment prints the same rows/series the paper reports for the
+corresponding table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    airtime_udp,
+    fairness_index,
+    latency,
+    scaling,
+    sparse,
+    table1,
+    tcp_throughput,
+    voip,
+    web,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(duration: float, warmup: float, seed: int) -> str:
+    return table1.format_table(table1.run(duration, warmup, seed))
+
+
+def _run_fig04(duration: float, warmup: float, seed: int) -> str:
+    return latency.format_table(latency.run(duration_s=duration,
+                                            warmup_s=warmup, seed=seed))
+
+
+def _run_fig05(duration: float, warmup: float, seed: int) -> str:
+    return airtime_udp.format_table(
+        airtime_udp.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_fig06(duration: float, warmup: float, seed: int) -> str:
+    return fairness_index.format_table(
+        fairness_index.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_fig07(duration: float, warmup: float, seed: int) -> str:
+    return tcp_throughput.format_table(
+        tcp_throughput.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_fig08(duration: float, warmup: float, seed: int) -> str:
+    return sparse.format_table(
+        sparse.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_fig09(duration: float, warmup: float, seed: int) -> str:
+    return scaling.format_table(
+        scaling.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_table2(duration: float, warmup: float, seed: int) -> str:
+    return voip.format_table(
+        voip.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+def _run_fig11(duration: float, warmup: float, seed: int) -> str:
+    return web.format_table(
+        web.run(duration_s=duration, warmup_s=warmup, seed=seed)
+    )
+
+
+Runner = Callable[[float, float, int], str]
+
+#: Experiment id -> (description, default duration, default warmup, runner).
+EXPERIMENTS: dict[str, tuple[str, float, float, Runner]] = {
+    "table1": ("analytical model vs measured UDP (Table 1)", 20, 5, _run_table1),
+    "fig04": ("latency with TCP download (Figures 1/4)", 20, 8, _run_fig04),
+    "fig05": ("airtime shares, one-way UDP (Figure 5)", 20, 5, _run_fig05),
+    "fig06": ("Jain's fairness index (Figure 6)", 15, 6, _run_fig06),
+    "fig07": ("TCP download throughput (Figure 7)", 20, 8, _run_fig07),
+    "fig08": ("sparse-station optimisation (Figure 8)", 15, 5, _run_fig08),
+    "fig09": ("30-station scaling (Figures 9/10)", 30, 10, _run_fig09),
+    "table2": ("VoIP MOS and throughput (Table 2)", 12, 6, _run_table2),
+    "fig11": ("web page-load times (Figure 11)", 40, 5, _run_fig11),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id, 'all', or 'list'")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="measurement window in simulated seconds")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="warm-up in simulated seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (desc, dur, warm, _) in EXPERIMENTS.items():
+            print(f"  {name:8s} {desc} (default {dur:g}s + {warm:g}s warmup)")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see available ids", file=sys.stderr)
+        return 2
+
+    for name in names:
+        desc, default_dur, default_warm, runner = EXPERIMENTS[name]
+        duration = args.duration if args.duration is not None else default_dur
+        warmup = args.warmup if args.warmup is not None else default_warm
+        start = time.time()
+        print(f"\n=== {name}: {desc} ===")
+        print(runner(duration, warmup, args.seed))
+        print(f"[{time.time() - start:.0f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Export experiment results as CSV or JSON for external analysis.
+
+The paper publishes its full dataset; this module provides the
+equivalent for the reproduction: flat tabular records per experiment
+that load directly into pandas/R/gnuplot.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Iterable, List, Mapping, Sequence
+
+__all__ = ["rows_from_results", "to_csv", "to_json", "write_csv"]
+
+
+def _flatten(prefix: str, value: Any, out: dict) -> None:
+    """Flatten nested dataclasses/dicts into dotted scalar columns."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for field in dataclasses.fields(value):
+            _flatten(
+                f"{prefix}{field.name}." if prefix else f"{field.name}.",
+                getattr(value, field.name),
+                out,
+            )
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            _flatten(f"{prefix}{key}.", item, out)
+        return
+    if isinstance(value, (list, tuple)):
+        # Sample lists (RTTs etc.) are summarised, not dumped per-point.
+        if value and all(isinstance(v, (int, float)) for v in value):
+            values = sorted(value)
+            out[prefix + "count"] = len(values)
+            out[prefix + "mean"] = sum(values) / len(values)
+            out[prefix + "median"] = values[len(values) // 2]
+            out[prefix + "max"] = values[-1]
+            return
+        for i, item in enumerate(value):
+            _flatten(f"{prefix}{i}.", item, out)
+        return
+    key = prefix.rstrip(".")
+    if hasattr(value, "value"):  # enums
+        value = value.value
+    out[key] = value
+
+
+def rows_from_results(results: Iterable[Any]) -> List[dict]:
+    """One flat dict per result dataclass."""
+    rows = []
+    for result in results:
+        row: dict = {}
+        _flatten("", result, row)
+        rows.append(row)
+    return rows
+
+
+def to_csv(results: Sequence[Any]) -> str:
+    """Render results as CSV text (union of all columns)."""
+    rows = rows_from_results(results)
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(results: Sequence[Any], indent: int = 2) -> str:
+    """Render results as a JSON array of flat records."""
+    return json.dumps(rows_from_results(results), indent=indent)
+
+
+def write_csv(results: Sequence[Any], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(results))

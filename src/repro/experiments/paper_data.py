@@ -1,0 +1,102 @@
+"""The paper's reported numbers, as structured data.
+
+Transcribed from Høiland-Jørgensen et al., "Ending the Anomaly" (USENIX
+ATC 2017): Table 1, Table 2, and the headline values read from the
+figures and the text of Sections 4.1–4.2.  Figure values are approximate
+(read off the plots) and marked as such; they are used for *shape*
+comparisons (ratios, orderings), never for exact assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TABLE1_BASELINE",
+    "TABLE1_FAIR",
+    "TABLE2",
+    "FIGURE_HEADLINES",
+    "Table1Row",
+    "Table2Cell",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One station's row of Table 1."""
+
+    aggregation: float
+    airtime_share: float
+    phy_mbps: float
+    base_mbps: float
+    predicted_mbps: float
+    measured_mbps: float
+
+
+#: Table 1, "Baseline (FIFO queue)" half: two fast stations, one slow.
+TABLE1_BASELINE = (
+    Table1Row(4.47, 0.10, 144.4, 97.3, 9.7, 7.1),
+    Table1Row(5.08, 0.11, 144.4, 101.1, 11.4, 6.3),
+    Table1Row(1.89, 0.79, 7.2, 6.5, 5.1, 5.3),
+)
+
+#: Table 1, "Airtime Fairness" half.
+TABLE1_FAIR = (
+    Table1Row(18.44, 1 / 3, 144.4, 126.7, 42.2, 38.8),
+    Table1Row(18.52, 1 / 3, 144.4, 126.8, 42.3, 35.6),
+    Table1Row(1.89, 1 / 3, 7.2, 6.5, 2.2, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One (scheme, QoS, base delay) cell of Table 2."""
+
+    mos: float
+    throughput_mbps: float
+
+
+#: Table 2: {(scheme_name, qos, base_delay_ms): (MOS, total throughput)}.
+TABLE2 = {
+    ("FIFO", "VO", 5.0): Table2Cell(4.17, 27.5),
+    ("FIFO", "BE", 5.0): Table2Cell(1.00, 28.3),
+    ("FIFO", "VO", 50.0): Table2Cell(4.13, 21.6),
+    ("FIFO", "BE", 50.0): Table2Cell(1.00, 22.0),
+    ("FQ-CoDel", "VO", 5.0): Table2Cell(4.17, 25.5),
+    ("FQ-CoDel", "BE", 5.0): Table2Cell(1.24, 23.6),
+    ("FQ-CoDel", "VO", 50.0): Table2Cell(4.08, 15.2),
+    ("FQ-CoDel", "BE", 50.0): Table2Cell(1.21, 15.1),
+    ("FQ-MAC", "VO", 5.0): Table2Cell(4.41, 39.1),
+    ("FQ-MAC", "BE", 5.0): Table2Cell(4.39, 43.8),
+    ("FQ-MAC", "VO", 50.0): Table2Cell(4.38, 28.5),
+    ("FQ-MAC", "BE", 50.0): Table2Cell(4.37, 34.0),
+    ("Airtime fair FQ", "VO", 5.0): Table2Cell(4.41, 56.3),
+    ("Airtime fair FQ", "BE", 5.0): Table2Cell(4.39, 57.0),
+    ("Airtime fair FQ", "VO", 50.0): Table2Cell(4.38, 49.8),
+    ("Airtime fair FQ", "BE", 50.0): Table2Cell(4.37, 49.7),
+}
+
+#: Headline values from the figures and running text (approximate where
+#: read off a plot).
+FIGURE_HEADLINES = {
+    # Figure 1/4: median ping under TCP load.
+    "fig4_fifo_median_ms": 600.0,          # "several hundred ms" (plot)
+    "fig4_fqcodel_fast_median_ms": 35.0,
+    "fig4_fqcodel_slow_median_ms": 215.0,
+    "fig4_fqmac_fast_reduction": 0.45,     # "another 45%"
+    # Figure 5: slow-station airtime share.
+    "fig5_fifo_slow_share": 0.80,
+    # Section 4.1.5 (30 stations).
+    "fig9_fqcodel_slow_share": 2 / 3,
+    "fig9_fqcodel_total_mbps": 3.3,
+    "fig9_airtime_total_mbps": 17.7,
+    "fig9_throughput_gain": 5.4,
+    "fig9_sparse_gain": 2.0,
+    # Figure 8: sparse-station optimisation.
+    "fig8_median_improvement": (0.10, 0.15),
+    # Abstract / §4.3.
+    "headline_throughput_factor": 5.0,
+    "headline_latency_factor": 10.0,
+    # §4.1.5: in-kernel airtime vs monitor capture agreement.
+    "airtime_measurement_tolerance": 0.015,
+}

@@ -1,0 +1,27 @@
+"""802.11 MAC substrate: medium, aggregation, stations, and the AP."""
+
+from repro.mac.aggregation import Aggregate, AggregateBuilder, AggregationLimits
+from repro.mac.ap import AccessPoint, APConfig, Scheme
+from repro.mac.driver import DEFAULT_DRIVER_LIMIT, LegacyDriver
+from repro.mac.hwqueue import HW_QUEUE_DEPTH, MAX_RETRIES, HardwareQueue
+from repro.mac.medium import Contender, Medium, TransmissionRecord
+from repro.mac.station import CLIENT_QUEUE_LIMIT, ClientStation
+
+__all__ = [
+    "APConfig",
+    "AccessPoint",
+    "Aggregate",
+    "AggregateBuilder",
+    "AggregationLimits",
+    "CLIENT_QUEUE_LIMIT",
+    "ClientStation",
+    "Contender",
+    "DEFAULT_DRIVER_LIMIT",
+    "HW_QUEUE_DEPTH",
+    "HardwareQueue",
+    "LegacyDriver",
+    "MAX_RETRIES",
+    "Medium",
+    "Scheme",
+    "TransmissionRecord",
+]

@@ -1,0 +1,272 @@
+"""A-MPDU aggregation: building aggregates and computing their airtime.
+
+Aggregate size is *emergent* in this simulator — the builder takes packets
+from whatever queue feeds it until it runs out of backlog or hits a limit
+(64 subframes, 64 KiB, 4 ms TXOP).  The paper's key observations about
+aggregation (the FIFO configuration starving fast stations down to ~4.5
+packet aggregates while FQ-MAC reaches ~18; Table 1 and Section 4.1.2)
+come out of this emergence, not out of a configured aggregation level.
+
+Legacy (non-HT) rates and VO-marked traffic do not aggregate: one MPDU per
+PHY frame, acknowledged with a legacy ACK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.packet import AccessCategory, Packet
+from repro.phy.constants import (
+    MAX_AMPDU_BYTES,
+    MAX_AMPDU_SUBFRAMES,
+    MAX_TXOP_US,
+)
+from repro.phy.rates import PhyRate
+from repro.phy.timing import (
+    T_PHY_US,
+    block_ack_time_us,
+    legacy_ack_time_us,
+    mpdu_length,
+)
+
+__all__ = [
+    "AMSDU_MAX_BYTES",
+    "AMSDU_SUBFRAME_HEADER",
+    "Aggregate",
+    "AggregateBuilder",
+    "AggregationLimits",
+    "amsdu_subframe_length",
+]
+
+
+#: A-MSDU subframe header: DA + SA + length (bytes).
+AMSDU_SUBFRAME_HEADER = 14
+#: Common A-MSDU size limit (bytes); 802.11n allows 3839 or 7935.
+AMSDU_MAX_BYTES = 3839
+
+
+def amsdu_subframe_length(payload_bytes: int) -> int:
+    """One A-MSDU subframe: 14-byte header + payload, padded to 4 bytes."""
+    raw = AMSDU_SUBFRAME_HEADER + payload_bytes
+    return raw + (-raw) % 4
+
+
+@dataclass(frozen=True)
+class AggregationLimits:
+    """Caps applied to one aggregate.
+
+    ``amsdu_enabled`` turns on two-level aggregation: small packets are
+    first packed into A-MSDUs (up to ``amsdu_max_bytes`` each) and the
+    resulting MSDUs become the MPDU subframes of the A-MPDU.  The paper's
+    analytical model excludes A-MSDU for simplicity (Section 2.2.1
+    footnote, deferring to Kim et al. [16]); the simulator supports it as
+    an extension — it mainly helps small-packet traffic (VoIP, TCP acks)
+    amortise the per-MPDU framing.
+    """
+
+    max_subframes: int = MAX_AMPDU_SUBFRAMES
+    max_bytes: int = MAX_AMPDU_BYTES
+    max_txop_us: float = MAX_TXOP_US
+    amsdu_enabled: bool = False
+    amsdu_max_bytes: int = AMSDU_MAX_BYTES
+
+
+@dataclass
+class Aggregate:
+    """One physical transmission: an A-MPDU (or single MPDU) plus timing.
+
+    ``duration_us`` is the channel occupancy from the start of the PHY
+    header to the end of the (block) ack — i.e. everything except the
+    DIFS+backoff contention overhead, which the medium accounts
+    separately.  This is also the airtime the paper's scheduler charges.
+
+    With A-MSDU aggregation the MPDU subframes do not correspond 1:1 to
+    packets; ``mpdu_payload_sizes`` then carries the actual per-MPDU
+    payload lengths (each covering one or more packets).
+    """
+
+    station: int
+    ac: AccessCategory
+    rate: PhyRate
+    packets: List[Packet] = field(default_factory=list)
+    retries: int = 0
+    mpdu_payload_sizes: Optional[List[int]] = None
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.packets)
+
+    @property
+    def n_mpdus(self) -> int:
+        if self.mpdu_payload_sizes is not None:
+            return len(self.mpdu_payload_sizes)
+        return len(self.packets)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(p.size for p in self.packets)
+
+    @property
+    def mpdu_bytes(self) -> int:
+        if self.mpdu_payload_sizes is not None:
+            return sum(mpdu_length(s) for s in self.mpdu_payload_sizes)
+        return sum(mpdu_length(p.size) for p in self.packets)
+
+    @property
+    def aggregated(self) -> bool:
+        return self.rate.ht and self.ac.aggregates
+
+    @property
+    def data_time_us(self) -> float:
+        """PHY header + MPDU payload time (eq. 2 for uniform packets)."""
+        return T_PHY_US + 8 * self.mpdu_bytes / self.rate.bps * 1e6
+
+    @property
+    def duration_us(self) -> float:
+        """Data time plus SIFS + (block) ack."""
+        if self.aggregated:
+            ack = block_ack_time_us(self.rate)
+        else:
+            ack = legacy_ack_time_us()
+        return self.data_time_us + ack
+
+
+class AggregateBuilder:
+    """Builds aggregates from a packet-at-a-time dequeue function.
+
+    The FQ structures dequeue one packet at a time (and CoDel may drop
+    while doing so), so the builder cannot peek.  When a dequeued packet
+    would push the aggregate past a limit it is *held back* and becomes
+    the first packet of the station's next aggregate — the same behaviour
+    as ath9k re-queueing an skb at the head of the TID queue.
+    """
+
+    def __init__(self, limits: Optional[AggregationLimits] = None) -> None:
+        self.limits = limits or AggregationLimits()
+        self._holdback: dict[tuple[int, AccessCategory], Packet] = {}
+
+    def holdback_backlog(self, station: int, ac: AccessCategory) -> int:
+        """Packets currently held back for (station, ac): 0 or 1."""
+        return 1 if (station, ac) in self._holdback else 0
+
+    def build(
+        self,
+        station: int,
+        ac: AccessCategory,
+        rate: PhyRate,
+        dequeue: Callable[[], Optional[Packet]],
+    ) -> Optional[Aggregate]:
+        """Build one aggregate for ``station``/``ac`` at ``rate``.
+
+        Returns ``None`` when neither the holdback slot nor ``dequeue``
+        yields any packet.
+        """
+        agg = Aggregate(station=station, ac=ac, rate=rate)
+        key = (station, ac)
+
+        def next_packet() -> Optional[Packet]:
+            held = self._holdback.pop(key, None)
+            if held is not None:
+                return held
+            return dequeue()
+
+        if not (rate.ht and ac.aggregates):
+            pkt = next_packet()
+            if pkt is None:
+                return None
+            agg.packets.append(pkt)
+            return agg
+
+        limits = self.limits
+        if limits.amsdu_enabled:
+            return self._build_two_level(agg, key, rate, next_packet)
+
+        mpdu_total = 0
+        while agg.n_packets < limits.max_subframes:
+            pkt = next_packet()
+            if pkt is None:
+                break
+            pkt_mpdu = mpdu_length(pkt.size)
+            new_total = mpdu_total + pkt_mpdu
+            data_us = T_PHY_US + 8 * new_total / rate.bps * 1e6
+            over = (
+                new_total > limits.max_bytes or data_us > limits.max_txop_us
+            )
+            if over and agg.n_packets > 0:
+                self._holdback[key] = pkt
+                break
+            agg.packets.append(pkt)
+            mpdu_total = new_total
+            if over:
+                # A single packet already exceeds the caps (possible only
+                # at very low rates); send it alone rather than stalling.
+                break
+
+        return agg if agg.packets else None
+
+    # ------------------------------------------------------------------
+    # Two-level (A-MSDU inside A-MPDU) aggregation
+    # ------------------------------------------------------------------
+    def _build_two_level(self, agg, key, rate, next_packet):
+        """Pack packets into A-MSDUs, then A-MSDUs into the A-MPDU.
+
+        A single-packet MSDU is carried without the A-MSDU subframe
+        framing (as real stacks do); grouping only pays its 14-byte
+        per-subframe header when it actually combines packets.
+        """
+        limits = self.limits
+        groups: List[List[Packet]] = []
+        mpdu_total = 0
+
+        def group_payload(group: List[Packet], extra: Optional[Packet] = None) -> int:
+            members = group + ([extra] if extra is not None else [])
+            if len(members) == 1:
+                return members[0].size
+            return sum(amsdu_subframe_length(p.size) for p in members)
+
+        while True:
+            pkt = next_packet()
+            if pkt is None:
+                break
+            placed = False
+            if groups:
+                last = groups[-1]
+                candidate_payload = group_payload(last, pkt)
+                if candidate_payload <= limits.amsdu_max_bytes:
+                    new_total = (
+                        mpdu_total
+                        - mpdu_length(group_payload(last))
+                        + mpdu_length(candidate_payload)
+                    )
+                    data_us = T_PHY_US + 8 * new_total / rate.bps * 1e6
+                    if (
+                        new_total <= limits.max_bytes
+                        and data_us <= limits.max_txop_us
+                    ):
+                        last.append(pkt)
+                        mpdu_total = new_total
+                        placed = True
+            if placed:
+                continue
+
+            # Start a new MPDU subframe with this packet.
+            if len(groups) >= limits.max_subframes:
+                self._holdback[key] = pkt
+                break
+            new_total = mpdu_total + mpdu_length(pkt.size)
+            data_us = T_PHY_US + 8 * new_total / rate.bps * 1e6
+            over = new_total > limits.max_bytes or data_us > limits.max_txop_us
+            if over and groups:
+                self._holdback[key] = pkt
+                break
+            groups.append([pkt])
+            mpdu_total = new_total
+            if over:
+                break  # single oversize packet: send alone
+
+        if not groups:
+            return None
+        agg.packets = [pkt for group in groups for pkt in group]
+        agg.mpdu_payload_sizes = [group_payload(g) for g in groups]
+        return agg

@@ -1,0 +1,398 @@
+"""The access point: where the paper's four configurations differ.
+
+The evaluation (Section 4) compares four queue-management setups at the AP:
+
+* **FIFO** — pfifo qdisc above the legacy driver's unmanaged per-TID
+  FIFOs, round-robin station service (the stock kernel).
+* **FQ-CoDel** — the fq_codel qdisc above the same unmanaged lower layers.
+* **FQ-MAC** — the qdisc layer is bypassed; the integrated per-TID
+  FQ-CoDel structure (Algorithms 1–2) replaces the driver queues, but
+  station service is still round-robin.
+* **AIRTIME** — FQ-MAC plus the deficit airtime scheduler (Algorithm 3).
+
+This module assembles the right stack per scheme and implements the AP
+side of the medium's contender protocol: building aggregates into the
+two-deep hardware queue, charging airtime on TX *and* RX completion, and
+forwarding uplink traffic to the wired network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.airtime import DEFAULT_AIRTIME_QUANTUM_US, AirtimeScheduler
+from repro.core.codel import PerStationCoDelTuner
+from repro.core.mac_fq import MacFqStructure
+from repro.core.packet import AccessCategory, Packet
+from repro.core.station_rr import RoundRobinScheduler
+from repro.mac.aggregation import Aggregate, AggregateBuilder, AggregationLimits
+from repro.mac.driver import DEFAULT_DRIVER_LIMIT, LegacyDriver
+from repro.mac.hwqueue import HardwareQueue
+from repro.mac.medium import Medium
+from repro.mac.station import ClientStation
+from repro.qdisc.base import Qdisc
+from repro.qdisc.fq_codel_qdisc import FqCodelQdisc
+from repro.qdisc.pfifo import PfifoQdisc
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.wire import WiredNetwork
+
+__all__ = ["AccessPoint", "Scheme", "APConfig"]
+
+
+class Scheme(Enum):
+    """The four queue-management configurations of Section 4."""
+
+    FIFO = "FIFO"
+    FQ_CODEL = "FQ-CoDel"
+    FQ_MAC = "FQ-MAC"
+    AIRTIME = "Airtime fair FQ"
+
+    @property
+    def uses_mac_fq(self) -> bool:
+        return self in (Scheme.FQ_MAC, Scheme.AIRTIME)
+
+
+@dataclass
+class APConfig:
+    """Tunables for the access point (defaults match the paper/Linux)."""
+
+    scheme: Scheme = Scheme.AIRTIME
+    #: pfifo qdisc length (FIFO scheme).
+    txqueuelen: int = 1000
+    #: Shared legacy driver buffer (FIFO / FQ-CoDel schemes).
+    driver_limit: int = DEFAULT_DRIVER_LIMIT
+    #: Global packet limit of the integrated structure (FQ-MAC / Airtime).
+    mac_fq_limit: int = 8192
+    #: Airtime scheduler quantum (µs).
+    airtime_quantum_us: float = DEFAULT_AIRTIME_QUANTUM_US
+    #: Sparse-station optimisation (Section 3.2, ablated in Figure 8).
+    sparse_enabled: bool = True
+    #: Charge received (uplink) airtime to station deficits (Section 3.2).
+    account_rx_airtime: bool = True
+    #: Per-station CoDel low-rate tuning (Section 3.1.1).
+    codel_lowrate_tuning: bool = True
+    #: A-MPDU limits.
+    aggregation: AggregationLimits = field(default_factory=AggregationLimits)
+    #: Minstrel-style downlink rate control (extension; the paper's
+    #: testbed pins rates).  When enabled, each station's transmission
+    #: rate is learned from TX reports instead of being fixed, and the
+    #: CoDel tuner follows the learned rate estimate (§3.1.1).
+    rate_control: bool = False
+
+
+DropHook = Callable[[Packet, str], None]
+
+
+class AccessPoint:
+    """The Linux access point under one of the four configurations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        config: Optional[APConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.config = config or APConfig()
+        self.scheme = self.config.scheme
+
+        self.stations: Dict[int, ClientStation] = {}
+        self._rates: Dict[int, object] = {}
+
+        self._builder = AggregateBuilder(self.config.aggregation)
+        self._hw = HardwareQueue()
+        self.network: Optional["WiredNetwork"] = None
+
+        self.codel_tuner = PerStationCoDelTuner(
+            enabled=self.config.codel_lowrate_tuning
+        )
+
+        # --- scheme-specific queueing stack --------------------------
+        self.qdisc: Optional[Qdisc] = None
+        self.driver: Optional[LegacyDriver] = None
+        self.mac_fq: Optional[MacFqStructure] = None
+        if self.scheme is Scheme.FIFO:
+            self.qdisc = PfifoQdisc(self.config.txqueuelen, on_drop=self._on_drop)
+            self.driver = LegacyDriver(self.qdisc, self.config.driver_limit)
+        elif self.scheme is Scheme.FQ_CODEL:
+            self.qdisc = FqCodelQdisc(lambda: sim.now, on_drop=self._on_drop)
+            self.driver = LegacyDriver(self.qdisc, self.config.driver_limit)
+        else:
+            self.mac_fq = MacFqStructure(
+                lambda: sim.now,
+                limit=self.config.mac_fq_limit,
+                codel_tuner=self.codel_tuner,
+                on_drop=self._on_drop,
+            )
+
+        # --- station scheduler (BE/BK/VI) ------------------------------
+        if self.scheme is Scheme.AIRTIME:
+            self.scheduler: object = AirtimeScheduler(
+                has_backlog=self._station_has_backlog,
+                build_aggregate=self._build_aggregate_for,
+                hw_full=lambda: self._hw.full(AccessCategory.BE),
+                quantum_us=self.config.airtime_quantum_us,
+                sparse_enabled=self.config.sparse_enabled,
+                account_rx=self.config.account_rx_airtime,
+            )
+        else:
+            self.scheduler = RoundRobinScheduler(
+                has_backlog=self._station_has_backlog,
+                build_aggregate=self._build_aggregate_for,
+                hw_full=lambda: self._hw.full(AccessCategory.BE),
+            )
+
+        # --- VO fast path ---------------------------------------------
+        # VO frames are scheduled round-robin per station ahead of all
+        # other traffic (802.11e priority); they never aggregate.
+        self._vo_ring: Deque[int] = deque()
+        self._vo_queues: Dict[int, Deque[Packet]] = {}
+
+        self.drop_hooks: List[DropHook] = []
+        #: Packets lost because an aggregate exhausted its retries.
+        self.retry_drop_packets = 0
+
+        #: Per-station Minstrel controllers (rate-control extension).
+        self._rate_controllers: Dict[int, object] = {}
+        #: Stations whose aggregate could not enter a full per-AC
+        #: hardware queue; re-woken on the next fill pass.
+        self._parked: set[int] = set()
+
+        medium.attach(self, is_ap=True)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_station(self, station: ClientStation) -> None:
+        if station.index in self.stations:
+            raise ValueError(f"station {station.index} already attached")
+        self.stations[station.index] = station
+        self._rates[station.index] = station.rate
+        station.attach(self.medium, self)
+        if self.config.rate_control and station.rate.ht:
+            from repro.phy.rate_control import MinstrelRateController
+            from repro.phy.rates import HT20_MCS_TABLE
+
+            candidates = [HT20_MCS_TABLE[i] for i in range(8)]
+            self._rate_controllers[station.index] = MinstrelRateController(
+                candidates, self.medium.rng
+            )
+        self.codel_tuner.update_rate(station.index, station.rate.bps, self.sim.now)
+
+    def set_network(self, network: "WiredNetwork") -> None:
+        self.network = network
+
+    def rate_for(self, station: int):
+        """Transmission rate toward ``station`` (learned or pinned)."""
+        controller = self._rate_controllers.get(station)
+        if controller is not None:
+            return controller.current_rate()
+        return self._rates[station]
+
+    # ------------------------------------------------------------------
+    # Drop reporting
+    # ------------------------------------------------------------------
+    def add_drop_hook(self, hook: DropHook) -> None:
+        self.drop_hooks.append(hook)
+
+    def _on_drop(self, pkt: Packet, reason: str) -> None:
+        for hook in self.drop_hooks:
+            hook(pkt, reason)
+
+    # ------------------------------------------------------------------
+    # Downstream entry (from the wired network)
+    # ------------------------------------------------------------------
+    def send_downstream(self, pkt: Packet) -> None:
+        """Accept a packet from the wire and queue it toward its station."""
+        station = pkt.dst_station
+        if station is None or station not in self.stations:
+            raise ValueError(f"no such station: {station}")
+
+        if pkt.ac is AccessCategory.VO:
+            self._enqueue_vo(pkt, station)
+        elif self.mac_fq is not None:
+            tid = self.mac_fq.tid(station, pkt.ac)
+            self.mac_fq.enqueue(pkt, tid)
+            self.scheduler.wake(station)
+        else:
+            assert self.qdisc is not None and self.driver is not None
+            self.qdisc.enqueue(pkt)
+            for woken in self.driver.pull():
+                self.scheduler.wake(woken)
+
+        self._fill_hw()
+        self.medium.notify_backlog()
+
+    def _enqueue_vo(self, pkt: Packet, station: int) -> None:
+        # The VO queue is short and unmanaged in all schemes except the
+        # mac_fq ones, where it is a TID like any other; either way the
+        # AP-side scheduling is strict-priority round-robin.
+        if self.mac_fq is not None:
+            tid = self.mac_fq.tid(station, AccessCategory.VO)
+            self.mac_fq.enqueue(pkt, tid)
+        else:
+            queue = self._vo_queues.setdefault(station, deque())
+            pkt.enqueue_us = self.sim.now
+            queue.append(pkt)
+        if station not in self._vo_ring:
+            self._vo_ring.append(station)
+
+    def _dequeue_vo(self, station: int) -> Optional[Packet]:
+        if self.mac_fq is not None:
+            return self.mac_fq.dequeue(self.mac_fq.tid(station, AccessCategory.VO))
+        queue = self._vo_queues.get(station)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def _vo_backlog(self, station: int) -> int:
+        if self.mac_fq is not None:
+            return self.mac_fq.tid(station, AccessCategory.VO).backlog
+        queue = self._vo_queues.get(station)
+        return len(queue) if queue else 0
+
+    # ------------------------------------------------------------------
+    # Scheduler hooks (aggregating ACs: VI > BE > BK; VO has its own path)
+    # ------------------------------------------------------------------
+    #: Priority order of the ACs the station scheduler serves.
+    _DATA_ACS = (AccessCategory.VI, AccessCategory.BE, AccessCategory.BK)
+
+    def _ac_backlog(self, station: int, ac: AccessCategory) -> int:
+        backlog = self._builder.holdback_backlog(station, ac)
+        if self.mac_fq is not None:
+            return backlog + self.mac_fq.tid(station, ac).backlog
+        assert self.driver is not None
+        return backlog + self.driver.station_backlog(station, ac)
+
+    def _station_has_backlog(self, station: int) -> bool:
+        return any(self._ac_backlog(station, ac) > 0 for ac in self._DATA_ACS)
+
+    def _dequeue(self, station: int, ac: AccessCategory) -> Optional[Packet]:
+        if self.mac_fq is not None:
+            return self.mac_fq.dequeue(self.mac_fq.tid(station, ac))
+        assert self.driver is not None
+        return self.driver.dequeue(station, ac)
+
+    def _build_aggregate_for(self, station: int) -> int:
+        """Build one aggregate for ``station`` into the hardware queue.
+
+        Serves the highest-priority backlogged data AC.  If that AC's
+        hardware queue is momentarily full, the station is parked and
+        retried on the next fill pass.
+        """
+        ac = next(
+            (a for a in self._DATA_ACS if self._ac_backlog(station, a) > 0),
+            None,
+        )
+        if ac is None:
+            return 0
+        if self._hw.full(ac):
+            self._parked.add(station)
+            return 0
+        agg = self._builder.build(
+            station,
+            ac,
+            self.rate_for(station),
+            lambda: self._dequeue(station, ac),
+        )
+        if agg is None:
+            return 0
+        self._hw.push(agg)
+        if self.driver is not None:
+            for woken in self.driver.pull():
+                self.scheduler.wake(woken)
+        return agg.n_packets
+
+    # ------------------------------------------------------------------
+    # Hardware queue management
+    # ------------------------------------------------------------------
+    def _fill_hw(self) -> None:
+        # VO first: strict priority, one (unaggregated) frame per turn.
+        while not self._hw.full(AccessCategory.VO) and self._vo_ring:
+            station = self._vo_ring[0]
+            pkt = self._dequeue_vo(station)
+            if pkt is None:
+                self._vo_ring.popleft()
+                continue
+            agg = Aggregate(
+                station=station,
+                ac=AccessCategory.VO,
+                rate=self.rate_for(station),
+                packets=[pkt],
+            )
+            self._hw.push(agg)
+            if self._vo_backlog(station) == 0:
+                self._vo_ring.popleft()
+            else:
+                self._vo_ring.rotate(-1)
+        # Re-wake stations parked on a full per-AC hardware queue.
+        if self._parked:
+            for station in list(self._parked):
+                if self._station_has_backlog(station):
+                    self.scheduler.wake(station)
+            self._parked.clear()
+        # Then the data-AC scheduler (round-robin or airtime DRR).
+        self.scheduler.schedule()
+
+    # ------------------------------------------------------------------
+    # Contender protocol (the AP side of the medium)
+    # ------------------------------------------------------------------
+    def has_frames_pending(self) -> bool:
+        return self._hw.has_pending()
+
+    def pending_access_category(self) -> Optional[AccessCategory]:
+        return self._hw.head_ac()
+
+    def start_txop(self) -> Optional[Aggregate]:
+        return self._hw.pop()
+
+    def txop_complete(self, agg: Aggregate, success: bool) -> None:
+        # Charge the airtime actually spent transmitting (including this
+        # retry attempt) to the destination station's deficit.
+        self.scheduler.report_tx_airtime(agg.station, agg.duration_us)
+        controller = self._rate_controllers.get(agg.station)
+        if controller is not None:
+            controller.report(agg.rate, success)
+            self.codel_tuner.update_rate(
+                agg.station, controller.best_rate().bps, self.sim.now
+            )
+        if success:
+            self.stations[agg.station].receive_from_ap(agg)
+        else:
+            if not self._hw.requeue_retry(agg):
+                self.retry_drop_packets += agg.n_packets
+                for pkt in agg.packets:
+                    self._on_drop(pkt, "retry")
+        if self._station_has_backlog(agg.station):
+            self.scheduler.wake(agg.station)
+        self._fill_hw()
+        self.medium.notify_backlog()
+
+    # ------------------------------------------------------------------
+    # Uplink (stations -> AP -> wire)
+    # ------------------------------------------------------------------
+    def receive_uplink(self, agg: Aggregate) -> None:
+        """Receive an uplink aggregate; forward its packets to the wire."""
+        self.scheduler.report_rx_airtime(agg.station, agg.duration_us)
+        if self.network is not None:
+            for pkt in agg.packets:
+                self.network.to_server(pkt)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def total_queued_packets(self) -> int:
+        total = 0
+        if self.qdisc is not None:
+            total += self.qdisc.backlog_packets
+        if self.driver is not None:
+            total += self.driver.backlog
+        if self.mac_fq is not None:
+            total += self.mac_fq.backlog_packets
+        return total

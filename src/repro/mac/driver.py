@@ -1,0 +1,88 @@
+"""Legacy driver buffering — the unmanaged queues below the qdisc.
+
+The stock ath9k driver keeps a FIFO per TID (``buf_q`` in Figure 2) and
+pulls frames down from the qdisc whenever it has room.  The total room is
+*shared*: once overall driver occupancy hits the limit, nothing more is
+pulled — so a slow station, whose queue drains at a fraction of the fast
+stations' rate, ends up owning nearly all of the space.  This is the
+mechanism behind both residual bufferbloat under an FQ-CoDel qdisc
+(Section 2.1) and the aggregation starvation of fast stations
+(Section 4.1.2, "there are not enough packets queued to build sufficiently
+large aggregates").
+
+Only the FIFO and FQ-CoDel configurations use this module; FQ-MAC and
+Airtime replace it (and the qdisc) with
+:class:`repro.core.mac_fq.MacFqStructure`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.packet import AccessCategory, Packet
+from repro.qdisc.base import Qdisc
+
+__all__ = ["LegacyDriver", "DEFAULT_DRIVER_LIMIT"]
+
+#: Shared driver buffer space in frames.  Calibrated so the slow station
+#: monopolising it reproduces the paper's lower-layer effects: residual
+#: latency under an FQ-CoDel qdisc (a slow station's frames draining at a
+#: few hundred packets/s add tens-to-hundreds of ms the qdisc cannot see,
+#: Figure 4) and the aggregation starvation of fast stations in the FIFO
+#: case (~4–7 packet aggregates, Table 1).
+DEFAULT_DRIVER_LIMIT = 32
+
+
+class LegacyDriver:
+    """Per-TID FIFOs with a shared frame limit, fed by a qdisc."""
+
+    def __init__(self, qdisc: Qdisc, limit: int = DEFAULT_DRIVER_LIMIT) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.qdisc = qdisc
+        self.limit = limit
+        self._queues: Dict[Tuple[int, AccessCategory], Deque[Packet]] = {}
+        self.backlog = 0
+
+    # ------------------------------------------------------------------
+    def pull(self) -> List[int]:
+        """Pull frames from the qdisc while there is room.
+
+        Returns the stations that received new frames, so the AP can wake
+        them in the scheduler.
+        """
+        woken: List[int] = []
+        while self.backlog < self.limit:
+            pkt = self.qdisc.dequeue()
+            if pkt is None:
+                break
+            assert pkt.dst_station is not None
+            key = (pkt.dst_station, pkt.ac)
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = deque()
+                self._queues[key] = queue
+            queue.append(pkt)
+            self.backlog += 1
+            if pkt.dst_station not in woken:
+                woken.append(pkt.dst_station)
+        return woken
+
+    def dequeue(self, station: int, ac: AccessCategory) -> Optional[Packet]:
+        queue = self._queues.get((station, ac))
+        if not queue:
+            return None
+        self.backlog -= 1
+        return queue.popleft()
+
+    def station_backlog(self, station: int, ac: AccessCategory) -> int:
+        queue = self._queues.get((station, ac))
+        return len(queue) if queue else 0
+
+    def occupancy_by_station(self) -> Dict[int, int]:
+        """Frames buffered per station (diagnostics for the lock-out)."""
+        out: Dict[int, int] = {}
+        for (station, _ac), queue in self._queues.items():
+            out[station] = out.get(station, 0) + len(queue)
+        return out

@@ -1,0 +1,95 @@
+"""Hardware transmit queue: the driver-level FIFO of built aggregates.
+
+The ath9k hardware accepts two queued aggregates per hardware queue
+(Figures 2 and 3, "2 aggr").  Keeping this queue *short* is what makes the
+software scheduler's decisions matter: the airtime scheduler of Algorithm 3
+loops "while hardware queue is not full", and with a depth of two the AP
+commits to at most one head-of-line aggregate per AC while another is on
+the air.
+
+The retry chain also lives here: a failed aggregate re-enters at the head
+(``retry_q`` in the figures) until it exceeds the retry limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.packet import AccessCategory
+from repro.mac.aggregation import Aggregate
+
+__all__ = ["HardwareQueue", "HW_QUEUE_DEPTH", "MAX_RETRIES"]
+
+#: Aggregates the hardware accepts per AC queue.
+HW_QUEUE_DEPTH = 2
+#: Retry limit before a failed aggregate is dropped.
+MAX_RETRIES = 10
+
+
+class HardwareQueue:
+    """Per-AC FIFOs of built aggregates with strict VO-first service."""
+
+    def __init__(self, depth: int = HW_QUEUE_DEPTH) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._queues: dict[AccessCategory, Deque[Aggregate]] = {
+            ac: deque() for ac in AccessCategory
+        }
+        #: Aggregates dropped after exceeding the retry limit.
+        self.retry_drops = 0
+
+    # ------------------------------------------------------------------
+    def full(self, ac: AccessCategory) -> bool:
+        return len(self._queues[ac]) >= self.depth
+
+    def push(self, agg: Aggregate) -> None:
+        if self.full(agg.ac):
+            raise RuntimeError(f"hardware queue {agg.ac.name} is full")
+        self._queues[agg.ac].append(agg)
+
+    def requeue_retry(self, agg: Aggregate) -> bool:
+        """Re-insert a failed aggregate at the head (the retry queue).
+
+        Returns False (and counts a drop) once the retry limit is hit.
+        The retry path may exceed the nominal depth by one — the frame is
+        already "in the hardware".
+        """
+        agg.retries += 1
+        if agg.retries > MAX_RETRIES:
+            self.retry_drops += 1
+            return False
+        self._queues[agg.ac].appendleft(agg)
+        return True
+
+    def pop(self) -> Optional[Aggregate]:
+        """Next aggregate to transmit: highest-priority non-empty AC."""
+        for ac in (
+            AccessCategory.VO,
+            AccessCategory.VI,
+            AccessCategory.BE,
+            AccessCategory.BK,
+        ):
+            queue = self._queues[ac]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def head_ac(self) -> Optional[AccessCategory]:
+        """AC of the aggregate :meth:`pop` would return, or ``None``."""
+        for ac in (
+            AccessCategory.VO,
+            AccessCategory.VI,
+            AccessCategory.BE,
+            AccessCategory.BK,
+        ):
+            if self._queues[ac]:
+                return ac
+        return None
+
+    def has_pending(self) -> bool:
+        return any(self._queues[ac] for ac in AccessCategory)
+
+    def pending_aggregates(self, ac: AccessCategory) -> int:
+        return len(self._queues[ac])

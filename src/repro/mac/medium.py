@@ -1,0 +1,290 @@
+"""The shared wireless medium: simplified DCF arbitration.
+
+One transmitter occupies the channel at a time.  When the channel goes
+idle and at least one node has pending frames, every contender draws a
+random backoff (uniform over its contention window, in slots); the lowest
+draw transmits after DIFS + backoff.  VO-category traffic uses 802.11e's
+much shorter contention window, which in this model translates to
+near-strict priority plus lower access latency — the effect Table 2's VO
+rows depend on.
+
+Simplifications, matching the paper's analytical model (Section 2.2.1):
+
+* no collisions by default — ties are broken randomly instead of
+  colliding, and the optional error model (``error_rate``) injects
+  losses independently.  Pass ``collisions=True`` for real DCF
+  behaviour: contenders drawing the same backoff slot collide (all
+  transmissions fail) and double their contention window (binary
+  exponential backoff, reset on success);
+* no carrier-sense anomalies, hidden nodes, or rate adaptation — stations
+  have fixed configured rates, as in the testbed (the slow station is
+  *pinned* to MCS0 / 1 Mbps).  Rate adaptation is available as an
+  extension through ``error_prob_fn`` + the AP's Minstrel controller.
+
+Airtime accounting: observers receive a :class:`TransmissionRecord` for
+every completed transmission with the full channel occupancy *including*
+the contention overhead the transmitter spent — this mirrors the paper's
+in-kernel measurement, which was verified against monitor-mode captures
+to within 1.5%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from repro.core.packet import AccessCategory
+from repro.mac.aggregation import Aggregate
+from repro.phy.constants import CW_MIN, CW_MIN_VO, T_DIFS_US, T_SLOT_US
+from repro.sim.engine import Simulator
+
+__all__ = ["Medium", "Contender", "TransmissionRecord"]
+
+
+class Contender(Protocol):
+    """What the medium needs from a node that wants to transmit."""
+
+    def has_frames_pending(self) -> bool:
+        """True if the node would transmit, were it granted the channel."""
+        ...
+
+    def pending_access_category(self) -> Optional[AccessCategory]:
+        """AC of the node's next frame (sets its contention window)."""
+        ...
+
+    def start_txop(self) -> Optional[Aggregate]:
+        """Hand the medium the aggregate to transmit (may be ``None``)."""
+        ...
+
+    def txop_complete(self, agg: Aggregate, success: bool) -> None:
+        """Called when the transmission finishes (delivery is separate)."""
+        ...
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """Accounting record for one completed transmission."""
+
+    start_us: float
+    #: Channel occupancy including DIFS+backoff spent by the transmitter.
+    airtime_us: float
+    #: Occupancy excluding contention (what the deficit scheduler charges).
+    tx_time_us: float
+    #: The client station involved (receiver for downlink, sender for
+    #: uplink) — airtime is always attributed to a station, as the paper's
+    #: per-station accounting does.
+    station: int
+    #: True when the AP transmitted (downlink).
+    downlink: bool
+    n_packets: int
+    payload_bytes: int
+    ac: AccessCategory
+    success: bool
+    retries: int
+
+
+Observer = Callable[[TransmissionRecord], None]
+
+
+class Medium:
+    """Serialises transmissions from registered contenders."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        error_rate: float = 0.0,
+        error_prob_fn: Optional[Callable[[Aggregate], float]] = None,
+        collisions: bool = False,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self.sim = sim
+        self.rng = rng
+        self.error_rate = error_rate
+        #: Optional per-transmission error model (e.g. rate-dependent
+        #: channels for the rate-control extension); overrides
+        #: ``error_rate`` when set.
+        self.error_prob_fn = error_prob_fn
+        self.collisions = collisions
+        self._contenders: List[tuple[Contender, bool]] = []
+        self._observers: List[Observer] = []
+        self._busy = False
+        self._arbitration_scheduled = False
+        #: Total time the channel spent occupied (for utilisation stats).
+        self.busy_time_us = 0.0
+        #: Collision events (collisions=True only).
+        self.collision_count = 0
+        #: Binary-exponential-backoff state: per-contender current CW.
+        self._cw: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, contender: Contender, is_ap: bool) -> None:
+        self._contenders.append((contender, is_ap))
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Channel access
+    # ------------------------------------------------------------------
+    def notify_backlog(self) -> None:
+        """A node became backlogged; arbitrate if the channel is idle."""
+        if self._busy or self._arbitration_scheduled:
+            return
+        self._arbitration_scheduled = True
+        self.sim.call_soon(self._arbitrate)
+
+    def _base_cw(self, ac: Optional[AccessCategory]) -> int:
+        return CW_MIN_VO if ac is AccessCategory.VO else CW_MIN
+
+    def _cw_for(self, contender: Contender, ac: Optional[AccessCategory]) -> int:
+        base = self._base_cw(ac)
+        if not self.collisions:
+            return base
+        return max(base, self._cw.get(id(contender), base))
+
+    def _beb_on_collision(self, contender: Contender,
+                          ac: Optional[AccessCategory]) -> None:
+        """Binary exponential backoff: double CW up to CWmax."""
+        from repro.phy.constants import CW_MAX
+
+        current = self._cw_for(contender, ac)
+        self._cw[id(contender)] = min(CW_MAX, 2 * current + 1)
+
+    def _beb_on_success(self, contender: Contender) -> None:
+        self._cw.pop(id(contender), None)
+
+    def _arbitrate(self) -> None:
+        self._arbitration_scheduled = False
+        if self._busy:
+            return
+        draws: List[tuple[float, float, Contender, bool]] = []
+        for contender, is_ap in self._contenders:
+            if not contender.has_frames_pending():
+                continue
+            ac = contender.pending_access_category()
+            slots = self.rng.randint(0, self._cw_for(contender, ac))
+            draws.append((float(slots), self.rng.random(), contender, is_ap))
+        if not draws:
+            return
+
+        draws.sort(key=lambda d: d[:2])
+        min_slots = draws[0][0]
+        tied = [d for d in draws if d[0] == min_slots]
+        wait_us = T_DIFS_US + min_slots * T_SLOT_US
+        self._busy = True
+        if self.collisions and len(tied) > 1:
+            participants = [(d[2], d[3]) for d in tied]
+            self.sim.schedule(
+                wait_us, lambda: self._start_collision(participants, wait_us)
+            )
+        else:
+            _, _, winner, winner_is_ap = draws[0]
+            self.sim.schedule(
+                wait_us, lambda: self._start(winner, winner_is_ap, wait_us)
+            )
+
+    def _start_collision(
+        self, participants: List[tuple[Contender, bool]], wait_us: float
+    ) -> None:
+        """Several nodes chose the same slot: all transmissions fail."""
+        started: List[tuple[Contender, bool, Aggregate]] = []
+        for contender, is_ap in participants:
+            agg = contender.start_txop()
+            if agg is not None:
+                started.append((contender, is_ap, agg))
+        if not started:
+            self._busy = False
+            self.notify_backlog()
+            return
+        if len(started) == 1:
+            # Everyone else's frames evaporated: a normal transmission.
+            contender, is_ap, agg = started[0]
+            duration = agg.duration_us
+            self.sim.schedule(
+                duration,
+                lambda: self._complete_started(contender, is_ap, agg, wait_us),
+            )
+            return
+        self.collision_count += 1
+        duration = max(agg.duration_us for _, _, agg in started)
+        self.sim.schedule(
+            duration, lambda: self._finish_collision(started, wait_us, duration)
+        )
+
+    def _finish_collision(
+        self,
+        started: List[tuple[Contender, bool, Aggregate]],
+        wait_us: float,
+        duration: float,
+    ) -> None:
+        self.busy_time_us += duration + wait_us
+        self._busy = False
+        for contender, is_ap, agg in started:
+            self._beb_on_collision(contender, agg.ac)
+            record = TransmissionRecord(
+                start_us=self.sim.now - duration - wait_us,
+                airtime_us=agg.duration_us + wait_us,
+                tx_time_us=agg.duration_us,
+                station=agg.station,
+                downlink=is_ap,
+                n_packets=agg.n_packets,
+                payload_bytes=agg.payload_bytes,
+                ac=agg.ac,
+                success=False,
+                retries=agg.retries,
+            )
+            contender.txop_complete(agg, False)
+            for observer in self._observers:
+                observer(record)
+        self.notify_backlog()
+
+    def _start(self, winner: Contender, is_ap: bool, wait_us: float) -> None:
+        agg = winner.start_txop()
+        if agg is None:
+            # The node's pending frames evaporated between arbitration and
+            # grant (e.g. CoDel emptied the queue); release the channel.
+            self._busy = False
+            self.notify_backlog()
+            return
+        duration = agg.duration_us
+        self.sim.schedule(
+            duration, lambda: self._complete(winner, is_ap, agg, wait_us)
+        )
+
+    def _complete(
+        self, winner: Contender, is_ap: bool, agg: Aggregate, wait_us: float
+    ) -> None:
+        if self.error_prob_fn is not None:
+            error_prob = self.error_prob_fn(agg)
+        else:
+            error_prob = self.error_rate
+        success = error_prob == 0.0 or self.rng.random() >= error_prob
+        record = TransmissionRecord(
+            start_us=self.sim.now - agg.duration_us - wait_us,
+            airtime_us=agg.duration_us + wait_us,
+            tx_time_us=agg.duration_us,
+            station=agg.station,
+            downlink=is_ap,
+            n_packets=agg.n_packets,
+            payload_bytes=agg.payload_bytes,
+            ac=agg.ac,
+            success=success,
+            retries=agg.retries,
+        )
+        self.busy_time_us += record.airtime_us
+        self._busy = False
+        if success and self.collisions:
+            self._beb_on_success(winner)
+        winner.txop_complete(agg, success)
+        for observer in self._observers:
+            observer(record)
+        self.notify_backlog()
+
+    # Collision path resolving to a single transmitter reuses the normal
+    # completion handling.
+    _complete_started = _complete

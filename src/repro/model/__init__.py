@@ -1,0 +1,10 @@
+"""Analytical models from the paper (Section 2.2.1)."""
+
+from repro.model.analytical import (
+    StationModel,
+    StationPrediction,
+    format_table1,
+    predict,
+)
+
+__all__ = ["StationModel", "StationPrediction", "format_table1", "predict"]

@@ -1,0 +1,142 @@
+"""Analytical model for 802.11n throughput and airtime (Section 2.2.1).
+
+Implements equations (4) and (5): given each station's aggregation level,
+packet size and PHY rate, predict the airtime share ``T(i)`` and effective
+rate ``R(i)`` with and without airtime fairness enforced.  This module
+regenerates the calculated columns of Table 1 and is also used in tests to
+cross-validate the simulator's airtime accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.phy.rates import PhyRate
+from repro.phy.timing import data_tx_time_us, expected_rate_bps
+
+__all__ = ["StationModel", "StationPrediction", "predict", "format_table1"]
+
+
+@dataclass(frozen=True)
+class StationModel:
+    """Model inputs for one station.
+
+    Attributes
+    ----------
+    aggregation:
+        Mean A-MPDU size in packets (``n_i``); the paper feeds the measured
+        mean aggregation level from the experiments into the model.
+    payload_bytes:
+        Packet payload size in bytes (``l_i``); 1500 in the paper.
+    rate:
+        PHY rate (``r_i``).
+    label:
+        Display name for tables.
+    """
+
+    aggregation: float
+    payload_bytes: int
+    rate: PhyRate
+    label: str = ""
+
+    def tx_time_us(self) -> float:
+        """``Tdata(n_i, l_i, r_i)`` for this station's typical aggregate."""
+        return data_tx_time_us(self.aggregation, self.payload_bytes, self.rate)
+
+    def base_rate_bps(self) -> float:
+        """Baseline rate ``R(n_i, l_i, r_i)`` with the medium to itself."""
+        return expected_rate_bps(self.aggregation, self.payload_bytes, self.rate)
+
+
+# ``data_tx_time_us``/``expected_rate_bps`` take integer packet counts in the
+# simulator, but the model uses *mean* aggregation levels, which are
+# fractional.  Both functions are linear in ``n`` apart from the fixed PHY
+# header, so fractional n is well-defined; assert nothing rounds it.
+
+
+@dataclass(frozen=True)
+class StationPrediction:
+    """Model outputs for one station (one row of Table 1)."""
+
+    label: str
+    aggregation: float
+    airtime_share: float
+    phy_rate_mbps: float
+    base_rate_mbps: float
+    rate_mbps: float
+
+
+def predict(
+    stations: Sequence[StationModel],
+    airtime_fairness: bool,
+) -> list[StationPrediction]:
+    """Predict airtime shares and rates for a set of stations, eqs. (4)–(5).
+
+    With ``airtime_fairness`` the airtime divides equally (``1/|I|``);
+    otherwise each station's share is its single-transmission time over the
+    sum of all stations' single-transmission times — the throughput-fair
+    MAC behaviour that produces the 802.11 performance anomaly.
+    """
+    if not stations:
+        return []
+    total_tx_time = sum(s.tx_time_us() for s in stations)
+    predictions = []
+    for station in stations:
+        if airtime_fairness:
+            share = 1.0 / len(stations)
+        else:
+            share = station.tx_time_us() / total_tx_time
+        base = station.base_rate_bps()
+        predictions.append(
+            StationPrediction(
+                label=station.label,
+                aggregation=station.aggregation,
+                airtime_share=share,
+                phy_rate_mbps=station.rate.mbps,
+                base_rate_mbps=base / 1e6,
+                rate_mbps=share * base / 1e6,
+            )
+        )
+    return predictions
+
+
+def format_table1(
+    baseline: Iterable[StationPrediction],
+    fair: Iterable[StationPrediction],
+    measured_baseline: Sequence[float] | None = None,
+    measured_fair: Sequence[float] | None = None,
+) -> str:
+    """Render predictions in the layout of Table 1.
+
+    ``measured_*`` optionally supply per-station measured UDP throughput
+    (Mbps) for the "Exp" column.
+    """
+    lines = []
+    header = (
+        f"{'Aggr':>6} {'T(i)':>6} {'PHY':>7} {'Base':>7} {'R(i)':>7} {'Exp':>7}"
+    )
+
+    def section(title: str, rows: Iterable[StationPrediction], measured):
+        lines.append(title)
+        lines.append(header)
+        total_pred = 0.0
+        total_meas = 0.0
+        for idx, row in enumerate(rows):
+            meas = measured[idx] if measured is not None else None
+            total_pred += row.rate_mbps
+            meas_str = f"{meas:7.1f}" if meas is not None else f"{'—':>7}"
+            if meas is not None:
+                total_meas += meas
+            lines.append(
+                f"{row.aggregation:6.2f} {row.airtime_share * 100:5.0f}% "
+                f"{row.phy_rate_mbps:7.1f} {row.base_rate_mbps:7.1f} "
+                f"{row.rate_mbps:7.1f} {meas_str}"
+            )
+        total_meas_str = f"{total_meas:7.1f}" if measured is not None else f"{'—':>7}"
+        lines.append(f"{'Total':>29} {total_pred:15.1f} {total_meas_str}")
+
+    section("Baseline (FIFO queue)", baseline, measured_baseline)
+    lines.append("")
+    section("Airtime Fairness", fair, measured_fair)
+    return "\n".join(lines)

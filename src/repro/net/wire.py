@@ -1,0 +1,76 @@
+"""The wired side of the testbed: server, Gigabit Ethernet hop, routing.
+
+The paper's server sits one GbE hop from the AP and sources/sinks all test
+flows.  The wire is never the bottleneck, so it is modelled as a fixed
+one-way delay (the VoIP experiments of Table 2 add 5 ms or 50 ms of
+baseline path delay here) with no queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.core.packet import Packet
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mac.ap import AccessPoint
+
+__all__ = ["Server", "WiredNetwork", "DEFAULT_WIRE_DELAY_US"]
+
+#: One-way delay of the GbE hop (µs); sub-millisecond LAN latency.
+DEFAULT_WIRE_DELAY_US = 100.0
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Server:
+    """The wired endpoint that sources and sinks all test flows."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, PacketHandler] = {}
+        self.network: Optional["WiredNetwork"] = None
+        self.rx_packets = 0
+
+    def register_handler(self, flow_id: int, handler: PacketHandler) -> None:
+        self._handlers[flow_id] = handler
+
+    def send(self, pkt: Packet) -> None:
+        """Send a packet toward its destination station."""
+        assert self.network is not None, "server not attached to a network"
+        self.network.to_ap(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        handler = self._handlers.get(pkt.flow_id)
+        if handler is not None:
+            handler(pkt)
+
+
+class WiredNetwork:
+    """Fixed-delay bidirectional link between the server and the AP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Server,
+        ap: "AccessPoint",
+        delay_us: float = DEFAULT_WIRE_DELAY_US,
+    ) -> None:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.server = server
+        self.ap = ap
+        self.delay_us = delay_us
+        server.network = self
+        ap.set_network(self)
+
+    def to_ap(self, pkt: Packet) -> None:
+        """Server -> AP direction (downstream)."""
+        pkt.created_us = self.sim.now
+        self.sim.schedule(self.delay_us, lambda: self.ap.send_downstream(pkt))
+
+    def to_server(self, pkt: Packet) -> None:
+        """AP -> server direction (upstream)."""
+        self.sim.schedule(self.delay_us, lambda: self.server.receive(pkt))

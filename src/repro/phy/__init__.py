@@ -1,0 +1,64 @@
+"""802.11n PHY model: timing constants, MCS rates, transmission times,
+and the optional channel/rate-control extension."""
+
+from repro.phy.channel import StationChannel
+from repro.phy.rate_control import MinstrelRateController
+from repro.phy.constants import (
+    CW_MIN,
+    CW_MIN_VO,
+    MAX_AMPDU_BYTES,
+    MAX_AMPDU_SUBFRAMES,
+    MAX_TXOP_US,
+    T_BO_MEAN_US,
+    T_DIFS_US,
+    T_PHY_US,
+    T_SIFS_US,
+    T_SLOT_US,
+)
+from repro.phy.rates import (
+    HT20_MCS_TABLE,
+    RATE_FAST,
+    RATE_LEGACY_1M,
+    RATE_SLOW,
+    PhyRate,
+    mcs,
+)
+from repro.phy.timing import (
+    aggregate_length,
+    block_ack_time_us,
+    data_tx_time_us,
+    expected_rate_bps,
+    frame_airtime_us,
+    legacy_ack_time_us,
+    mpdu_length,
+    overhead_time_us,
+)
+
+__all__ = [
+    "MinstrelRateController",
+    "StationChannel",
+    "CW_MIN",
+    "CW_MIN_VO",
+    "HT20_MCS_TABLE",
+    "MAX_AMPDU_BYTES",
+    "MAX_AMPDU_SUBFRAMES",
+    "MAX_TXOP_US",
+    "PhyRate",
+    "RATE_FAST",
+    "RATE_LEGACY_1M",
+    "RATE_SLOW",
+    "T_BO_MEAN_US",
+    "T_DIFS_US",
+    "T_PHY_US",
+    "T_SIFS_US",
+    "T_SLOT_US",
+    "aggregate_length",
+    "block_ack_time_us",
+    "data_tx_time_us",
+    "expected_rate_bps",
+    "frame_airtime_us",
+    "legacy_ack_time_us",
+    "mcs",
+    "mpdu_length",
+    "overhead_time_us",
+]

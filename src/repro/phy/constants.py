@@ -1,0 +1,75 @@
+"""802.11n timing and framing constants.
+
+Values follow Section 2.2.1 of the paper (which in turn takes them from the
+802.11n standard via Kim et al. [16]).  All times are in microseconds, all
+lengths in bytes, to match the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "L_DELIM",
+    "L_MAC",
+    "L_FCS",
+    "T_PHY_US",
+    "T_DIFS_US",
+    "T_SIFS_US",
+    "T_SLOT_US",
+    "CW_MIN",
+    "CW_MAX",
+    "CW_MIN_VO",
+    "T_BO_MEAN_US",
+    "BLOCK_ACK_BYTES",
+    "ACK_BYTES",
+    "MAX_AMPDU_SUBFRAMES",
+    "MAX_AMPDU_BYTES",
+    "MAX_TXOP_US",
+    "LEGACY_ACK_RATE_BPS",
+]
+
+#: MPDU delimiter length (bytes), eq. (1).
+L_DELIM = 4
+#: MAC header length (bytes), eq. (1).
+L_MAC = 34
+#: Frame check sequence length (bytes), eq. (1).
+L_FCS = 4
+
+#: PHY preamble + header transmission time (µs), eq. (2).
+T_PHY_US = 32.0
+#: Distributed inter-frame space (µs).
+T_DIFS_US = 34.0
+#: Short inter-frame space (µs).
+T_SIFS_US = 16.0
+#: Slot time (µs).
+T_SLOT_US = 9.0
+
+#: Minimum contention window (slots) for best-effort access.
+CW_MIN = 15
+#: Maximum contention window (slots); only reached after repeated collisions.
+CW_MAX = 1023
+#: Contention window for the VO (voice) access category — 802.11e gives
+#: voice a much shorter window, which we model directly.
+CW_MIN_VO = 3
+
+#: Mean backoff used by the analytical model: Tslot * CWmin / 2 ≈ 68µs.
+T_BO_MEAN_US = T_SLOT_US * (CW_MIN + 1) / 2.0
+
+#: Block acknowledgement frame size (bytes); the paper models the block-ack
+#: time as SIFS + 8*58/r, i.e. a 58-byte frame at the data rate.
+BLOCK_ACK_BYTES = 58
+#: Legacy ACK frame size (bytes) for non-aggregated MPDUs.
+ACK_BYTES = 14
+#: Rate at which legacy ACKs are sent (bps): 24 Mbps OFDM basic rate.
+LEGACY_ACK_RATE_BPS = 24_000_000
+
+#: A-MPDU limits.  802.11n allows up to 64 subframes; the byte cap uses
+#: the 32 KB A-MPDU length (HT "Maximum A-MPDU Length Exponent" of 5)
+#: that ath9k-class hardware commonly negotiates — with 1500-byte
+#: packets this caps aggregates at ~21 MPDUs, matching the ~18-packet
+#: mean aggregation the paper measures for backlogged fast stations
+#: (Table 1).  Raise to 65535 to model 64 KB-capable chains.
+MAX_AMPDU_SUBFRAMES = 64
+MAX_AMPDU_BYTES = 32_767
+#: TXOP cap applied to the data portion of one aggregate (µs).  4ms matches
+#: the ath9k driver's aggregate duration limit.
+MAX_TXOP_US = 4_000.0

@@ -1,0 +1,97 @@
+"""Minstrel-style rate control.
+
+The paper's CoDel tuning (§3.1.1) takes each station's rate estimate
+"from the rate selection algorithm"; in the default simulator rates are
+pinned (as in the testbed), so the estimate is static.  This module
+provides the dynamic variant: a small Minstrel-like controller that
+learns per-rate delivery probabilities from transmission reports and
+picks the rate with the best expected throughput, probing other rates
+periodically.
+
+Enable it through ``APConfig(rate_control=True)`` together with
+per-station :class:`repro.phy.channel.StationChannel` models so that
+there is a real channel to learn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.phy.rates import PhyRate
+
+__all__ = ["MinstrelRateController", "DEFAULT_EWMA", "DEFAULT_PROBE_INTERVAL"]
+
+#: Weight of the newest observation in the per-rate success EWMA.
+DEFAULT_EWMA = 0.25
+#: Probe a non-best rate every this many transmissions (Minstrel uses
+#: ~10% lookaround; 1/10 matches that).
+DEFAULT_PROBE_INTERVAL = 10
+#: Optimistic prior: untried rates start at this success probability so
+#: they get explored.
+INITIAL_SUCCESS = 0.5
+
+
+class MinstrelRateController:
+    """Learn the best transmission rate from success/failure reports."""
+
+    def __init__(
+        self,
+        rates: Sequence[PhyRate],
+        rng: random.Random,
+        ewma: float = DEFAULT_EWMA,
+        probe_interval: int = DEFAULT_PROBE_INTERVAL,
+    ) -> None:
+        if not rates:
+            raise ValueError("need at least one candidate rate")
+        if not 0 < ewma <= 1:
+            raise ValueError("ewma must be in (0, 1]")
+        self.rates: List[PhyRate] = sorted(rates, key=lambda r: r.bps)
+        self.rng = rng
+        self.ewma = ewma
+        self.probe_interval = probe_interval
+        self._success: Dict[str, float] = {
+            rate.name: INITIAL_SUCCESS for rate in self.rates
+        }
+        self._attempts: Dict[str, int] = {rate.name: 0 for rate in self.rates}
+        self._tx_count = 0
+
+    # ------------------------------------------------------------------
+    def expected_tput(self, rate: PhyRate) -> float:
+        """Throughput estimate: PHY rate times delivery probability."""
+        return rate.bps * self._success[rate.name]
+
+    def best_rate(self) -> PhyRate:
+        """The rate a non-probing transmission should use."""
+        return max(self.rates, key=self.expected_tput)
+
+    def current_rate(self) -> PhyRate:
+        """Rate for the next transmission (occasionally a probe)."""
+        self._tx_count += 1
+        if (
+            len(self.rates) > 1
+            and self.probe_interval > 0
+            and self._tx_count % self.probe_interval == 0
+        ):
+            best = self.best_rate()
+            others = [r for r in self.rates if r is not best]
+            return self.rng.choice(others)
+        return self.best_rate()
+
+    def report(self, rate: PhyRate, success: bool) -> None:
+        """Feed back the outcome of a transmission at ``rate``."""
+        if rate.name not in self._success:
+            return  # a rate outside our candidate set (e.g. legacy)
+        self._attempts[rate.name] += 1
+        observation = 1.0 if success else 0.0
+        self._success[rate.name] += self.ewma * (
+            observation - self._success[rate.name]
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, tuple[float, int]]:
+        """Per-rate (success probability, attempts) for diagnostics."""
+        return {
+            name: (self._success[name], self._attempts[name])
+            for name in self._success
+        }

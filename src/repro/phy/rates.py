@@ -1,0 +1,89 @@
+"""802.11 PHY rate definitions (HT MCS table and legacy rates).
+
+Stations in the paper's testbed run Atheros AR9580 (802.11n, HT20).  The
+fast stations negotiate MCS15 short-GI (144.4 Mbps), the slow station is
+pinned at MCS0 (7.2 Mbps with short GI), and the 30-station test pins the
+slow station to the 1 Mbps legacy (non-HT) rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PhyRate",
+    "HT20_MCS_TABLE",
+    "RATE_FAST",
+    "RATE_SLOW",
+    "RATE_LEGACY_1M",
+    "mcs",
+]
+
+
+@dataclass(frozen=True)
+class PhyRate:
+    """A PHY transmission rate.
+
+    Attributes
+    ----------
+    bps:
+        Data rate in bits per second.
+    ht:
+        True for HT (802.11n) rates, which support A-MPDU aggregation.
+        Legacy rates transmit one MPDU per PHY frame.
+    name:
+        Human-readable label used in logs and tables.
+    """
+
+    bps: float
+    ht: bool
+    name: str
+
+    @property
+    def mbps(self) -> float:
+        """Rate in Mbps."""
+        return self.bps / 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _ht(index: int, mbps: float) -> PhyRate:
+    return PhyRate(bps=mbps * 1e6, ht=True, name=f"MCS{index}")
+
+
+#: HT20 short-GI rates for 1 and 2 spatial streams (MCS0–15).
+HT20_MCS_TABLE: dict[int, PhyRate] = {
+    0: _ht(0, 7.2),
+    1: _ht(1, 14.4),
+    2: _ht(2, 21.7),
+    3: _ht(3, 28.9),
+    4: _ht(4, 43.3),
+    5: _ht(5, 57.8),
+    6: _ht(6, 65.0),
+    7: _ht(7, 72.2),
+    8: _ht(8, 14.4),
+    9: _ht(9, 28.9),
+    10: _ht(10, 43.3),
+    11: _ht(11, 57.8),
+    12: _ht(12, 86.7),
+    13: _ht(13, 115.6),
+    14: _ht(14, 130.0),
+    15: _ht(15, 144.4),
+}
+
+
+def mcs(index: int) -> PhyRate:
+    """Look up an HT20 short-GI MCS rate by index (0–15)."""
+    try:
+        return HT20_MCS_TABLE[index]
+    except KeyError:
+        raise ValueError(f"unknown MCS index {index}") from None
+
+
+#: Rate of the paper's "fast" stations (MCS15, 2 streams, short GI).
+RATE_FAST = mcs(15)
+#: Rate of the paper's "slow" station (MCS0, short GI): 7.2 Mbps.
+RATE_SLOW = mcs(0)
+#: 1 Mbps legacy DSSS rate used by the slow station in the 30-station test.
+RATE_LEGACY_1M = PhyRate(bps=1e6, ht=False, name="1M-legacy")

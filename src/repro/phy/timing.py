@@ -1,0 +1,115 @@
+"""Transmission-time model: equations (1)–(3) of the paper.
+
+These functions are used twice: by the analytical model (Section 2.2.1 /
+Table 1) and by the simulator's medium to compute how long each
+transmission occupies the air.  Sharing one implementation guarantees the
+simulator and the model agree on timing by construction.
+"""
+
+from __future__ import annotations
+
+from repro.phy.constants import (
+    ACK_BYTES,
+    BLOCK_ACK_BYTES,
+    L_DELIM,
+    L_FCS,
+    L_MAC,
+    LEGACY_ACK_RATE_BPS,
+    T_BO_MEAN_US,
+    T_DIFS_US,
+    T_PHY_US,
+    T_SIFS_US,
+)
+from repro.phy.rates import PhyRate
+
+__all__ = [
+    "mpdu_length",
+    "aggregate_length",
+    "data_tx_time_us",
+    "data_tx_time_bytes_us",
+    "block_ack_time_us",
+    "legacy_ack_time_us",
+    "overhead_time_us",
+    "frame_airtime_us",
+    "expected_rate_bps",
+]
+
+
+def mpdu_length(payload_bytes: int) -> int:
+    """Length of one MPDU subframe inside an A-MPDU, eq. (1) per-packet term.
+
+    Adds the delimiter, MAC header, FCS, and pads the total to a multiple
+    of four bytes.
+    """
+    raw = payload_bytes + L_DELIM + L_MAC + L_FCS
+    pad = (-raw) % 4
+    return raw + pad
+
+
+def aggregate_length(n_packets: int, payload_bytes: int) -> int:
+    """Total A-MPDU length ``L(n, l)`` in bytes, eq. (1).
+
+    Assumes all packets in the aggregate have the same length, as the
+    paper's model does.
+    """
+    if n_packets < 0:
+        raise ValueError("n_packets must be non-negative")
+    return n_packets * mpdu_length(payload_bytes)
+
+
+def data_tx_time_us(n_packets: int, payload_bytes: int, rate: PhyRate) -> float:
+    """Air time of the data portion ``Tdata(n, l, r)`` in µs, eq. (2)."""
+    bits = 8 * aggregate_length(n_packets, payload_bytes)
+    return T_PHY_US + bits / rate.bps * 1e6
+
+
+def data_tx_time_bytes_us(total_mpdu_bytes: int, rate: PhyRate) -> float:
+    """Air time of ``total_mpdu_bytes`` of MPDU data (already framed) in µs.
+
+    The simulator builds aggregates from packets of *different* sizes, so it
+    sums :func:`mpdu_length` per packet and uses this function; for uniform
+    packets it coincides with :func:`data_tx_time_us`.
+    """
+    return T_PHY_US + 8 * total_mpdu_bytes / rate.bps * 1e6
+
+
+def block_ack_time_us(rate: PhyRate) -> float:
+    """Mean block-ack time ``Tack = TSIFS + 8*58/r`` in µs (Section 2.2.1)."""
+    return T_SIFS_US + 8 * BLOCK_ACK_BYTES / rate.bps * 1e6
+
+
+def legacy_ack_time_us() -> float:
+    """Legacy ACK time for a non-aggregated MPDU, at the 24 Mbps basic rate."""
+    return T_SIFS_US + T_PHY_US + 8 * ACK_BYTES / LEGACY_ACK_RATE_BPS * 1e6
+
+
+def overhead_time_us(rate: PhyRate, aggregated: bool = True) -> float:
+    """Per-transmission overhead ``Toh`` in µs, eq. (3) denominator term.
+
+    ``Toh = TDIFS + TSIFS + Tack + TBO``.  For aggregated transmissions the
+    acknowledgement is a block ack at the data rate; for single MPDUs it is
+    a legacy ACK.
+    """
+    ack = block_ack_time_us(rate) if aggregated else legacy_ack_time_us()
+    return T_DIFS_US + T_SIFS_US + ack + T_BO_MEAN_US
+
+
+def frame_airtime_us(
+    n_packets: int,
+    payload_bytes: int,
+    rate: PhyRate,
+    aggregated: bool = True,
+) -> float:
+    """Total channel occupancy of one transmission, data + overhead, in µs."""
+    return data_tx_time_us(n_packets, payload_bytes, rate) + overhead_time_us(
+        rate, aggregated
+    )
+
+
+def expected_rate_bps(n_packets: int, payload_bytes: int, rate: PhyRate) -> float:
+    """Expected goodput ``R(n, l, r)`` in bps with no errors, eq. (3)."""
+    if n_packets == 0:
+        return 0.0
+    useful_bits = 8 * n_packets * payload_bytes
+    total_us = data_tx_time_us(n_packets, payload_bytes, rate) + overhead_time_us(rate)
+    return useful_bits / (total_us / 1e6)

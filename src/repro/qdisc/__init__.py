@@ -1,0 +1,18 @@
+"""Linux qdisc-layer substrates (pfifo and qdisc-level FQ-CoDel)."""
+
+from repro.qdisc.base import Qdisc
+from repro.qdisc.fq_codel_qdisc import (
+    FQ_CODEL_DEFAULT_FLOWS,
+    FQ_CODEL_DEFAULT_LIMIT,
+    FqCodelQdisc,
+)
+from repro.qdisc.pfifo import DEFAULT_TXQUEUELEN, PfifoQdisc
+
+__all__ = [
+    "DEFAULT_TXQUEUELEN",
+    "FQ_CODEL_DEFAULT_FLOWS",
+    "FQ_CODEL_DEFAULT_LIMIT",
+    "FqCodelQdisc",
+    "PfifoQdisc",
+    "Qdisc",
+]

@@ -1,0 +1,49 @@
+"""PFIFO — the Linux default qdisc (tail-drop FIFO, 1000 packets).
+
+This is the "FIFO" configuration's qdisc: the unmodified kernel installs
+``pfifo_fast`` with a 1000-packet txqueuelen on the wireless interface.
+Priority bands are irrelevant to the paper's single-class bulk traffic, so
+a single tail-drop FIFO models it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.packet import Packet
+from repro.qdisc.base import DropCallback, Qdisc
+
+__all__ = ["PfifoQdisc", "DEFAULT_TXQUEUELEN"]
+
+#: Default Linux interface transmit queue length.
+DEFAULT_TXQUEUELEN = 1000
+
+
+class PfifoQdisc(Qdisc):
+    """Tail-drop FIFO with a packet-count limit."""
+
+    def __init__(
+        self,
+        limit: int = DEFAULT_TXQUEUELEN,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        super().__init__(on_drop)
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self._pkts: Deque[Packet] = deque()
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if self.backlog_packets >= self.limit:
+            self._drop(pkt, "overlimit")
+            return False
+        self._pkts.append(pkt)
+        self.backlog_packets += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._pkts:
+            return None
+        self.backlog_packets -= 1
+        return self._pkts.popleft()

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate (event loop, clock, RNG streams)."""
+
+from repro.sim.engine import (
+    US_PER_MS,
+    US_PER_SEC,
+    Event,
+    PeriodicTimer,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.rng import RngFactory
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "RngFactory",
+    "SimulationError",
+    "Simulator",
+    "US_PER_MS",
+    "US_PER_SEC",
+]

@@ -1,0 +1,23 @@
+"""Traffic generators: UDP, TCP, ICMP ping, VoIP, and emulated web."""
+
+from repro.traffic.ping import DEFAULT_PING_INTERVAL_US, PingFlow
+from repro.traffic.tcp import TCP_MSS, TcpConnection
+from repro.traffic.udp import UdpDownloadFlow, UdpSink
+from repro.traffic.voip import VOIP_INTERVAL_US, VoipFlow, VoipStats
+from repro.traffic.web import LARGE_PAGE, SMALL_PAGE, WebFetch, WebPage
+
+__all__ = [
+    "DEFAULT_PING_INTERVAL_US",
+    "LARGE_PAGE",
+    "PingFlow",
+    "SMALL_PAGE",
+    "TCP_MSS",
+    "TcpConnection",
+    "UdpDownloadFlow",
+    "UdpSink",
+    "VOIP_INTERVAL_US",
+    "VoipFlow",
+    "VoipStats",
+    "WebFetch",
+    "WebPage",
+]

@@ -1,0 +1,101 @@
+"""UDP constant-bit-rate traffic (the paper's one-way UDP tests).
+
+The airtime/throughput validation experiments (Figures 5–6, Table 1) run
+saturating one-way UDP to each station: the offered rate is set above the
+station's achievable share so the AP queues are always backlogged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.packet import AccessCategory, Packet, flow_id_allocator
+from repro.mac.station import ClientStation
+from repro.net.wire import Server
+from repro.sim.engine import PeriodicTimer, Simulator
+
+__all__ = ["UdpDownloadFlow", "UdpSink", "DEFAULT_UDP_PACKET"]
+
+#: Wire size of a bulk UDP packet (bytes) — the paper models 1500.
+DEFAULT_UDP_PACKET = 1500
+
+
+class UdpSink:
+    """Receives a UDP stream and tracks goodput and one-way delay."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.rx_bytes = 0
+        self.rx_packets = 0
+        self.delays_us: list[float] = []
+        self._window_start_us = 0.0
+        self._window_bytes = 0
+
+    def on_packet(self, pkt: Packet) -> None:
+        self.rx_bytes += pkt.size
+        self._window_bytes += pkt.size
+        self.rx_packets += 1
+        self.delays_us.append(self.sim.now - pkt.created_us)
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window (drops warm-up samples)."""
+        self._window_start_us = self.sim.now
+        self._window_bytes = 0
+        self.delays_us.clear()
+
+    def window_throughput_bps(self, end_us: Optional[float] = None) -> float:
+        end = end_us if end_us is not None else self.sim.now
+        elapsed = end - self._window_start_us
+        if elapsed <= 0:
+            return 0.0
+        return 8 * self._window_bytes / (elapsed / 1e6)
+
+
+class UdpDownloadFlow:
+    """Server -> station CBR UDP flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Server,
+        station: ClientStation,
+        rate_bps: float,
+        packet_size: int = DEFAULT_UDP_PACKET,
+        ac: AccessCategory = AccessCategory.BE,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.server = server
+        self.station = station
+        self.packet_size = packet_size
+        self.ac = ac
+        self.flow_id = flow_id_allocator()
+        self.sink = UdpSink(sim)
+        self.tx_packets = 0
+        self._seq = 0
+
+        station.register_handler(self.flow_id, self.sink.on_packet)
+        interval_us = 8 * packet_size / rate_bps * 1e6
+        self._timer = PeriodicTimer(sim, interval_us, self._emit)
+
+    def start(self, delay_us: float = 0.0) -> "UdpDownloadFlow":
+        self._timer.start(first_delay_us=delay_us)
+        return self
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _emit(self) -> None:
+        self._seq += 1
+        self.tx_packets += 1
+        pkt = Packet(
+            self.flow_id,
+            self.packet_size,
+            dst_station=self.station.index,
+            ac=self.ac,
+            proto="udp",
+            seq=self._seq,
+            created_us=self.sim.now,
+        )
+        self.server.send(pkt)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def make_testbed(scheme, rates=None, seed=1, **option_kwargs):
+    """Build a small testbed for integration tests."""
+    from repro.experiments.config import three_station_rates
+    from repro.experiments.testbed import Testbed, TestbedOptions
+
+    rates = rates if rates is not None else three_station_rates()
+    return Testbed(rates, TestbedOptions(scheme=scheme, seed=seed, **option_kwargs))

@@ -1,0 +1,133 @@
+"""Tests for A-MPDU aggregate building and timing."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.core.packet import AccessCategory, Packet
+from repro.mac.aggregation import Aggregate, AggregateBuilder, AggregationLimits
+from repro.phy.constants import MAX_AMPDU_BYTES, MAX_TXOP_US
+from repro.phy.rates import RATE_FAST, RATE_LEGACY_1M, RATE_SLOW
+from repro.phy.timing import block_ack_time_us, legacy_ack_time_us, mpdu_length
+
+
+def queue_of(n, size=1500, flow=1):
+    pkts = deque(Packet(flow, size, dst_station=0, seq=i) for i in range(n))
+    return pkts, lambda: pkts.popleft() if pkts else None
+
+
+class TestAggregateProperties:
+    def test_counts_and_bytes(self):
+        agg = Aggregate(0, AccessCategory.BE, RATE_FAST,
+                        packets=[Packet(1, 1500), Packet(1, 800)])
+        assert agg.n_packets == 2
+        assert agg.payload_bytes == 2300
+        assert agg.mpdu_bytes == mpdu_length(1500) + mpdu_length(800)
+
+    def test_duration_includes_block_ack_when_aggregated(self):
+        agg = Aggregate(0, AccessCategory.BE, RATE_FAST, packets=[Packet(1, 1500)])
+        assert agg.duration_us == pytest.approx(
+            agg.data_time_us + block_ack_time_us(RATE_FAST)
+        )
+
+    def test_vo_uses_legacy_ack(self):
+        agg = Aggregate(0, AccessCategory.VO, RATE_FAST, packets=[Packet(1, 172)])
+        assert not agg.aggregated
+        assert agg.duration_us == pytest.approx(
+            agg.data_time_us + legacy_ack_time_us()
+        )
+
+    def test_legacy_rate_never_aggregated(self):
+        agg = Aggregate(0, AccessCategory.BE, RATE_LEGACY_1M,
+                        packets=[Packet(1, 1500)])
+        assert not agg.aggregated
+
+
+class TestBuilderLimits:
+    def test_drains_small_backlog_completely(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(5)
+        agg = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        assert agg.n_packets == 5
+
+    def test_empty_queue_returns_none(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(0)
+        assert builder.build(0, AccessCategory.BE, RATE_FAST, dequeue) is None
+
+    def test_respects_subframe_cap(self):
+        builder = AggregateBuilder(AggregationLimits(max_subframes=4,
+                                                     max_bytes=10**9,
+                                                     max_txop_us=10**9))
+        _, dequeue = queue_of(10)
+        agg = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        assert agg.n_packets == 4
+
+    def test_respects_byte_cap(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(64)
+        agg = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        assert agg.mpdu_bytes <= MAX_AMPDU_BYTES
+        # 32KB cap with 1500B packets: 21 subframes.
+        assert agg.n_packets == 21
+
+    def test_respects_txop_cap_at_slow_rate(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(10)
+        agg = builder.build(0, AccessCategory.BE, RATE_SLOW, dequeue)
+        assert agg.data_time_us <= MAX_TXOP_US
+        assert agg.n_packets == 2  # ~1.7ms per packet at MCS0
+
+    def test_single_oversized_packet_still_sent(self):
+        """A packet that alone exceeds the TXOP must not stall forever."""
+        builder = AggregateBuilder(AggregationLimits(max_txop_us=100.0))
+        _, dequeue = queue_of(2)
+        agg = builder.build(0, AccessCategory.BE, RATE_SLOW, dequeue)
+        assert agg.n_packets == 1
+
+    def test_vo_builds_single_packet(self):
+        builder = AggregateBuilder()
+        pkts, dequeue = queue_of(5)
+        agg = builder.build(0, AccessCategory.VO, RATE_FAST, dequeue)
+        assert agg.n_packets == 1
+        assert len(pkts) == 4
+
+    def test_legacy_rate_builds_single_packet(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(5)
+        agg = builder.build(0, AccessCategory.BE, RATE_LEGACY_1M, dequeue)
+        assert agg.n_packets == 1
+
+
+class TestHoldback:
+    def test_overflow_packet_held_for_next_aggregate(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(23)  # one more than fits in 32KB
+        agg1 = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        assert agg1.n_packets == 21
+        assert builder.holdback_backlog(0, AccessCategory.BE) == 1
+        agg2 = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        # The held-back packet (seq 21) leads the next aggregate.
+        assert agg2.packets[0].seq == 21
+        assert agg2.n_packets == 2
+        assert builder.holdback_backlog(0, AccessCategory.BE) == 0
+
+    def test_holdback_is_per_station_and_ac(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(23)
+        builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+        assert builder.holdback_backlog(1, AccessCategory.BE) == 0
+        assert builder.holdback_backlog(0, AccessCategory.VO) == 0
+
+    def test_order_preserved_across_holdback(self):
+        builder = AggregateBuilder()
+        _, dequeue = queue_of(45)
+        seqs = []
+        while True:
+            agg = builder.build(0, AccessCategory.BE, RATE_FAST, dequeue)
+            if agg is None:
+                break
+            seqs.extend(p.seq for p in agg.packets)
+        assert seqs == list(range(45))

@@ -1,0 +1,135 @@
+"""Tests for fairness metrics, distribution helpers, and airtime tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.stats import AirtimeTracker, cdf_points, percentile, summarize
+from repro.core.packet import AccessCategory
+from repro.mac.medium import TransmissionRecord
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_total_unfairness_approaches_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_paper_fifo_case(self):
+        """FIFO airtime shares (~10/11/79%) give an index around 0.5."""
+        assert jain_index([0.10, 0.11, 0.79]) == pytest.approx(0.51, abs=0.03)
+
+    def test_empty_and_zero_inputs(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariance(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCdfAndSummary:
+    def test_cdf_points_are_monotone(self):
+        points = cdf_points([5, 1, 3])
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        assert values == sorted(values)
+        assert probs == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+
+    def test_summary_of_empty(self):
+        s = summarize([])
+        assert s.count == 0
+
+
+def record(station, airtime, downlink=True, n=1, payload=1500, success=True):
+    return TransmissionRecord(
+        start_us=0.0, airtime_us=airtime, tx_time_us=airtime, station=station,
+        downlink=downlink, n_packets=n, payload_bytes=payload,
+        ac=AccessCategory.BE, success=success, retries=0,
+    )
+
+
+class TestAirtimeTracker:
+    def test_downlink_and_uplink_both_counted(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0, downlink=True))
+        tracker.on_transmission(record(0, 50.0, downlink=False))
+        assert tracker.airtime_us[0] == 150.0
+        assert tracker.downlink_airtime_us[0] == 100.0
+        assert tracker.uplink_airtime_us[0] == 50.0
+
+    def test_uplink_excluded_when_configured(self):
+        tracker = AirtimeTracker(count_uplink=False)
+        tracker.on_transmission(record(0, 50.0, downlink=False))
+        assert tracker.airtime_us[0] == 0.0
+
+    def test_shares_sum_to_one(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 300.0))
+        tracker.on_transmission(record(1, 100.0))
+        shares = tracker.airtime_shares([0, 1])
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.75)
+
+    def test_failed_tx_costs_airtime_but_delivers_nothing(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0, success=False))
+        assert tracker.airtime_us[0] == 100.0
+        assert tracker.delivered_bytes[0] == 0
+
+    def test_mean_aggregation(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0, n=10))
+        tracker.on_transmission(record(0, 100.0, n=20))
+        assert tracker.mean_aggregation(0) == 15.0
+        assert tracker.mean_aggregation(9) == 0.0
+
+    def test_throughput_computation(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0, payload=125_000))
+        assert tracker.throughput_bps(0, 1_000_000.0) == pytest.approx(1e6)
+
+    def test_reset_zeroes_everything(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0))
+        tracker.reset()
+        assert tracker.airtime_us == {}
+        assert tracker.records == 0
+
+    def test_jain_over_requested_stations(self):
+        tracker = AirtimeTracker()
+        tracker.on_transmission(record(0, 100.0))
+        # Station 1 never transmitted: counted as zero.
+        assert tracker.jain_airtime([0, 1]) == pytest.approx(0.5)

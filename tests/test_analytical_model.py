@@ -1,0 +1,112 @@
+"""Tests for the Section 2.2.1 analytical model (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.analytical import StationModel, format_table1, predict
+from repro.phy.rates import RATE_FAST, RATE_SLOW
+
+
+def paper_stations_baseline():
+    return [
+        StationModel(4.47, 1500, RATE_FAST, "fast1"),
+        StationModel(5.08, 1500, RATE_FAST, "fast2"),
+        StationModel(1.89, 1500, RATE_SLOW, "slow"),
+    ]
+
+
+def paper_stations_fair():
+    return [
+        StationModel(18.44, 1500, RATE_FAST, "fast1"),
+        StationModel(18.52, 1500, RATE_FAST, "fast2"),
+        StationModel(1.89, 1500, RATE_SLOW, "slow"),
+    ]
+
+
+class TestBaselinePredictions:
+    """The model should reproduce the paper's Table 1 numbers."""
+
+    def test_airtime_shares_match_table1(self):
+        shares = [p.airtime_share for p in predict(paper_stations_baseline(), False)]
+        assert shares[0] == pytest.approx(0.10, abs=0.02)
+        assert shares[1] == pytest.approx(0.11, abs=0.02)
+        assert shares[2] == pytest.approx(0.79, abs=0.02)
+
+    def test_rates_match_table1(self):
+        rates = [p.rate_mbps for p in predict(paper_stations_baseline(), False)]
+        assert rates[0] == pytest.approx(9.7, rel=0.1)
+        assert rates[1] == pytest.approx(11.4, rel=0.1)
+        assert rates[2] == pytest.approx(5.1, rel=0.1)
+
+    def test_total_matches_table1(self):
+        total = sum(p.rate_mbps for p in predict(paper_stations_baseline(), False))
+        assert total == pytest.approx(26.4, rel=0.05)
+
+    def test_shares_sum_to_one(self):
+        shares = [p.airtime_share for p in predict(paper_stations_baseline(), False)]
+        assert sum(shares) == pytest.approx(1.0)
+
+
+class TestFairPredictions:
+    def test_equal_shares_under_fairness(self):
+        predictions = predict(paper_stations_fair(), True)
+        for p in predictions:
+            assert p.airtime_share == pytest.approx(1 / 3)
+
+    def test_rates_match_table1(self):
+        rates = [p.rate_mbps for p in predict(paper_stations_fair(), True)]
+        assert rates[0] == pytest.approx(42.2, rel=0.05)
+        assert rates[1] == pytest.approx(42.3, rel=0.05)
+        assert rates[2] == pytest.approx(2.2, rel=0.1)
+
+    def test_total_shows_factor_three_gain_over_baseline(self):
+        baseline = sum(
+            p.rate_mbps for p in predict(paper_stations_baseline(), False)
+        )
+        fair = sum(p.rate_mbps for p in predict(paper_stations_fair(), True))
+        assert fair / baseline > 3.0
+
+
+class TestModelStructure:
+    def test_empty_station_list(self):
+        assert predict([], True) == []
+        assert predict([], False) == []
+
+    def test_single_station_gets_everything(self):
+        predictions = predict([paper_stations_baseline()[0]], False)
+        assert predictions[0].airtime_share == pytest.approx(1.0)
+
+    def test_fairness_invariant_to_aggregation(self):
+        """With fairness on, the share never depends on aggregation level."""
+        a = predict(paper_stations_baseline(), True)
+        b = predict(paper_stations_fair(), True)
+        assert [x.airtime_share for x in a] == [y.airtime_share for y in b]
+
+    def test_slower_station_uses_more_airtime_without_fairness(self):
+        predictions = predict(paper_stations_baseline(), False)
+        assert predictions[2].airtime_share > predictions[0].airtime_share
+
+    def test_rate_is_share_times_base(self):
+        for p in predict(paper_stations_baseline(), False):
+            assert p.rate_mbps == pytest.approx(p.airtime_share * p.base_rate_mbps)
+
+
+class TestFormatting:
+    def test_format_contains_both_sections(self):
+        text = format_table1(
+            predict(paper_stations_baseline(), False),
+            predict(paper_stations_fair(), True),
+        )
+        assert "Baseline (FIFO queue)" in text
+        assert "Airtime Fairness" in text
+
+    def test_format_includes_measured_column(self):
+        text = format_table1(
+            predict(paper_stations_baseline(), False),
+            predict(paper_stations_fair(), True),
+            measured_baseline=[7.1, 6.3, 5.3],
+            measured_fair=[38.8, 35.6, 2.0],
+        )
+        assert "38.8" in text
+        assert "5.3" in text

@@ -1,0 +1,33 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+def test_list_exits_zero(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+        "table2", "fig11",
+    }
+
+
+def test_single_experiment_runs_scaled_down(capsys):
+    assert main(["fig05", "--duration", "2", "--warmup", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Airtime fair FQ" in out

@@ -1,0 +1,91 @@
+"""Tests for the legacy driver buffering (the lock-out mechanism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import AccessCategory, Packet
+from repro.mac.driver import LegacyDriver
+from repro.qdisc.pfifo import PfifoQdisc
+
+
+def mkpkt(station, seq=0, ac=AccessCategory.BE):
+    return Packet(1, 1500, dst_station=station, seq=seq, ac=ac)
+
+
+@pytest.fixture
+def stack():
+    qdisc = PfifoQdisc(limit=1000)
+    driver = LegacyDriver(qdisc, limit=8)
+    return qdisc, driver
+
+
+class TestPull:
+    def test_pull_moves_packets_into_per_tid_queues(self, stack):
+        qdisc, driver = stack
+        for i in range(3):
+            qdisc.enqueue(mkpkt(0, seq=i))
+        woken = driver.pull()
+        assert woken == [0]
+        assert driver.station_backlog(0, AccessCategory.BE) == 3
+        assert qdisc.backlog_packets == 0
+
+    def test_pull_stops_at_shared_limit(self, stack):
+        qdisc, driver = stack
+        for i in range(20):
+            qdisc.enqueue(mkpkt(0, seq=i))
+        driver.pull()
+        assert driver.backlog == 8
+        assert qdisc.backlog_packets == 12
+
+    def test_pull_reports_each_woken_station_once(self, stack):
+        qdisc, driver = stack
+        qdisc.enqueue(mkpkt(0))
+        qdisc.enqueue(mkpkt(1))
+        qdisc.enqueue(mkpkt(0))
+        assert driver.pull() == [0, 1]
+
+    def test_dequeue_frees_space_for_next_pull(self, stack):
+        qdisc, driver = stack
+        for i in range(10):
+            qdisc.enqueue(mkpkt(0, seq=i))
+        driver.pull()
+        driver.dequeue(0, AccessCategory.BE)
+        driver.pull()
+        assert driver.backlog == 8
+
+    def test_dequeue_empty_returns_none(self, stack):
+        _, driver = stack
+        assert driver.dequeue(5, AccessCategory.BE) is None
+
+
+class TestLockout:
+    def test_slow_station_monopolises_shared_space(self, stack):
+        """The Section 2.1/4.1.2 mechanism: a station whose queue never
+        drains ends up owning the whole driver buffer, starving others."""
+        qdisc, driver = stack
+        # Interleave arrivals; station 9 (slow) is never dequeued.
+        for i in range(50):
+            qdisc.enqueue(mkpkt(9, seq=i))
+            qdisc.enqueue(mkpkt(0, seq=i))
+        driver.pull()
+        # Drain only station 0 and keep pulling, as the AP does.
+        for _ in range(100):
+            if driver.dequeue(0, AccessCategory.BE) is None:
+                break
+            driver.pull()
+        occupancy = driver.occupancy_by_station()
+        assert occupancy.get(9, 0) == 8
+        assert occupancy.get(0, 0) == 0
+
+    def test_separate_ac_queues(self, stack):
+        qdisc, driver = stack
+        qdisc.enqueue(mkpkt(0, ac=AccessCategory.BE))
+        qdisc.enqueue(mkpkt(0, ac=AccessCategory.VO))
+        driver.pull()
+        assert driver.station_backlog(0, AccessCategory.BE) == 1
+        assert driver.station_backlog(0, AccessCategory.VO) == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            LegacyDriver(PfifoQdisc(), limit=0)

@@ -1,0 +1,89 @@
+"""Tests for the CSV/JSON result exporter."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.export import rows_from_results, to_csv, to_json
+from repro.mac.ap import Scheme
+
+
+@dataclass(frozen=True)
+class Inner:
+    x: int
+    y: float
+
+
+@dataclass(frozen=True)
+class Sample:
+    scheme: Scheme
+    shares: dict
+    inner: Inner
+    rtts: list
+
+
+def samples():
+    return [
+        Sample(Scheme.FIFO, {0: 0.1, 2: 0.8}, Inner(1, 2.5), [3.0, 1.0, 2.0]),
+        Sample(Scheme.AIRTIME, {0: 0.33}, Inner(2, 5.0), [7.0]),
+    ]
+
+
+class TestFlattening:
+    def test_enum_rendered_as_value(self):
+        rows = rows_from_results(samples())
+        assert rows[0]["scheme"] == "FIFO"
+
+    def test_dict_flattened_with_dots(self):
+        rows = rows_from_results(samples())
+        assert rows[0]["shares.0"] == 0.1
+        assert rows[0]["shares.2"] == 0.8
+
+    def test_nested_dataclass_flattened(self):
+        rows = rows_from_results(samples())
+        assert rows[0]["inner.x"] == 1
+        assert rows[0]["inner.y"] == 2.5
+
+    def test_numeric_lists_summarised(self):
+        rows = rows_from_results(samples())
+        assert rows[0]["rtts.count"] == 3
+        assert rows[0]["rtts.mean"] == 2.0
+        assert rows[0]["rtts.max"] == 3.0
+
+
+class TestCsvJson:
+    def test_csv_round_trips(self):
+        text = to_csv(samples())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[1]["scheme"] == "Airtime fair FQ"
+
+    def test_csv_union_of_columns(self):
+        text = to_csv(samples())
+        header = text.splitlines()[0]
+        assert "shares.2" in header  # present only in the first row
+
+    def test_empty_results(self):
+        assert to_csv([]) == ""
+        assert json.loads(to_json([])) == []
+
+    def test_json_parses(self):
+        data = json.loads(to_json(samples()))
+        assert data[0]["inner.x"] == 1
+
+    def test_real_experiment_result_exports(self):
+        from repro.experiments import airtime_udp
+
+        result = airtime_udp.run_scheme(Scheme.AIRTIME, duration_s=2,
+                                        warmup_s=1)
+        text = to_csv([result])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["scheme"] == "Airtime fair FQ"
+        assert float(parsed[0]["airtime_shares.0"]) == pytest.approx(
+            1 / 3, abs=0.05
+        )

@@ -1,0 +1,73 @@
+"""Tests for the E-model MOS estimator (ITU-T G.107)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mos import (
+    EModelParams,
+    estimate_mos,
+    mos_from_r,
+    r_factor,
+)
+
+
+class TestRFactor:
+    def test_perfect_network_near_r0(self):
+        r = r_factor(0.0, 0.0, 0.0)
+        assert r == pytest.approx(93.2 - 0.024 * 10.0, abs=0.1)
+
+    def test_delay_impairment_grows(self):
+        assert r_factor(50.0, 0.0, 0.0) > r_factor(300.0, 0.0, 0.0)
+
+    def test_knee_at_177ms(self):
+        """Above 177.3ms mouth-to-ear the impairment slope steepens."""
+        below = r_factor(100.0, 0.0, 0.0) - r_factor(120.0, 0.0, 0.0)
+        above = r_factor(300.0, 0.0, 0.0) - r_factor(320.0, 0.0, 0.0)
+        assert above > below
+
+    def test_loss_impairment(self):
+        assert r_factor(20.0, 0.0, 0.05) < r_factor(20.0, 0.0, 0.0) - 30
+
+    def test_jitter_enters_via_buffer(self):
+        assert r_factor(20.0, 50.0, 0.0) < r_factor(20.0, 0.0, 0.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            r_factor(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            r_factor(1.0, -1.0, 0.0)
+
+
+class TestMosMapping:
+    def test_bounds(self):
+        assert mos_from_r(-50.0) == 1.0
+        assert mos_from_r(0.0) == 1.0
+        assert mos_from_r(100.0) == 4.5
+
+    def test_monotonic_in_r(self):
+        values = [mos_from_r(r) for r in range(0, 101, 10)]
+        assert values == sorted(values)
+
+    def test_typical_good_call(self):
+        # R ~ 90 is "very satisfied" territory: MOS ~ 4.3+.
+        assert mos_from_r(90.0) > 4.2
+
+
+class TestEstimateMos:
+    def test_matches_paper_range(self):
+        """The model's output range is 1–4.5 (Section 4.2.1)."""
+        assert 1.0 <= estimate_mos(5.0, 0.0, 0.0) <= 4.5
+        assert estimate_mos(5.0, 0.0, 0.0) > 4.3
+
+    def test_bufferbloat_scenario_collapses_mos(self):
+        """600ms of bloat plus a few % loss: the paper's FIFO BE row."""
+        assert estimate_mos(600.0, 50.0, 0.05) < 1.6
+
+    def test_50ms_baseline_still_good(self):
+        """Table 2's 50ms rows stay above 4.3 on a clean path."""
+        assert estimate_mos(55.0, 1.0, 0.0) > 4.3
+
+    def test_custom_params(self):
+        harsh = EModelParams(bpl=1.0)
+        assert estimate_mos(20.0, 0.0, 0.02, harsh) < estimate_mos(20.0, 0.0, 0.02)

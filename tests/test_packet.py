@@ -1,0 +1,60 @@
+"""Tests for the packet representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import AccessCategory, Packet, flow_id_allocator
+
+
+class TestFlowIds:
+    def test_allocator_is_unique(self):
+        ids = {flow_id_allocator() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        pkt = Packet(5, 1500, dst_station=2, proto="udp", seq=9, created_us=3.0)
+        assert pkt.flow_id == 5
+        assert pkt.size == 1500
+        assert pkt.dst_station == 2
+        assert pkt.seq == 9
+        assert pkt.created_us == 3.0
+        assert pkt.enqueue_us == 3.0
+
+    def test_pids_are_unique(self):
+        a = Packet(1, 100)
+        b = Packet(1, 100)
+        assert a.pid != b.pid
+
+    def test_default_ac_is_best_effort(self):
+        assert Packet(1, 100).ac is AccessCategory.BE
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(1, -5)
+
+    def test_meta_defaults_to_none(self):
+        assert Packet(1, 100).meta is None
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        pkt = Packet(1, 100)
+        with pytest.raises(AttributeError):
+            pkt.bogus = 1  # type: ignore[attr-defined]
+
+
+class TestAccessCategory:
+    def test_priority_ordering(self):
+        assert AccessCategory.VO > AccessCategory.VI > AccessCategory.BE > AccessCategory.BK
+
+    def test_vo_never_aggregates(self):
+        assert not AccessCategory.VO.aggregates
+
+    @pytest.mark.parametrize("ac", [AccessCategory.BE, AccessCategory.BK, AccessCategory.VI])
+    def test_other_categories_aggregate(self, ac):
+        assert ac.aggregates

@@ -1,0 +1,161 @@
+"""Tests for the PHY timing model (equations 1–3) and rate tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.constants import (
+    L_DELIM,
+    L_FCS,
+    L_MAC,
+    T_BO_MEAN_US,
+    T_DIFS_US,
+    T_PHY_US,
+    T_SIFS_US,
+)
+from repro.phy.rates import (
+    HT20_MCS_TABLE,
+    RATE_FAST,
+    RATE_LEGACY_1M,
+    RATE_SLOW,
+    mcs,
+)
+from repro.phy.timing import (
+    aggregate_length,
+    block_ack_time_us,
+    data_tx_time_bytes_us,
+    data_tx_time_us,
+    expected_rate_bps,
+    frame_airtime_us,
+    legacy_ack_time_us,
+    mpdu_length,
+    overhead_time_us,
+)
+
+
+class TestMpduLength:
+    def test_framing_overhead_is_42_bytes_plus_padding(self):
+        # 1500 + 4 + 34 + 4 = 1542, padded to 1544.
+        assert mpdu_length(1500) == 1544
+
+    def test_already_aligned_payload_needs_no_padding(self):
+        # 1498 + 42 = 1540, a multiple of 4.
+        assert mpdu_length(1498) == 1540
+
+    @pytest.mark.parametrize("payload", [1, 42, 173, 1500, 65000])
+    def test_result_is_multiple_of_four(self, payload):
+        assert mpdu_length(payload) % 4 == 0
+
+    @pytest.mark.parametrize("payload", [1, 100, 1500])
+    def test_length_at_least_payload_plus_framing(self, payload):
+        assert mpdu_length(payload) >= payload + L_DELIM + L_MAC + L_FCS
+
+
+class TestAggregateLength:
+    def test_scales_linearly_in_packets(self):
+        assert aggregate_length(4, 1500) == 4 * mpdu_length(1500)
+
+    def test_zero_packets_is_zero(self):
+        assert aggregate_length(0, 1500) == 0
+
+    def test_negative_packets_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_length(-1, 1500)
+
+
+class TestDataTxTime:
+    def test_includes_phy_header(self):
+        assert data_tx_time_us(0, 1500, RATE_FAST) == T_PHY_US
+
+    def test_single_packet_at_mcs0(self):
+        # 1544 bytes at 7.2 Mbps = 1715.6 us + 32 us PHY header.
+        expected = T_PHY_US + 8 * 1544 / 7.2
+        assert data_tx_time_us(1, 1500, RATE_SLOW) == pytest.approx(expected)
+
+    def test_faster_rate_means_less_airtime(self):
+        slow = data_tx_time_us(4, 1500, RATE_SLOW)
+        fast = data_tx_time_us(4, 1500, RATE_FAST)
+        assert fast < slow
+
+    def test_bytes_variant_agrees_with_uniform_packets(self):
+        n, size = 7, 1500
+        by_count = data_tx_time_us(n, size, RATE_FAST)
+        by_bytes = data_tx_time_bytes_us(n * mpdu_length(size), RATE_FAST)
+        assert by_count == pytest.approx(by_bytes)
+
+
+class TestOverheads:
+    def test_block_ack_time_at_fast_rate(self):
+        expected = T_SIFS_US + 8 * 58 / 144.4
+        assert block_ack_time_us(RATE_FAST) == pytest.approx(expected)
+
+    def test_legacy_ack_slower_than_block_ack_at_high_rate(self):
+        assert legacy_ack_time_us() > block_ack_time_us(RATE_FAST)
+
+    def test_overhead_composition(self):
+        toh = overhead_time_us(RATE_FAST)
+        expected = (
+            T_DIFS_US + T_SIFS_US + block_ack_time_us(RATE_FAST) + T_BO_MEAN_US
+        )
+        assert toh == pytest.approx(expected)
+
+    def test_mean_backoff_is_68us(self):
+        # Tslot * CWmin/2 per Section 2.2.1.
+        assert T_BO_MEAN_US == pytest.approx(72.0, abs=5.0)
+
+    def test_frame_airtime_is_data_plus_overhead(self):
+        total = frame_airtime_us(8, 1500, RATE_FAST)
+        parts = data_tx_time_us(8, 1500, RATE_FAST) + overhead_time_us(RATE_FAST)
+        assert total == pytest.approx(parts)
+
+
+class TestExpectedRate:
+    def test_matches_paper_base_rate_for_large_aggregates(self):
+        """Table 1: 18.44-packet aggregates at MCS15 -> ~126.7 Mbps."""
+        rate = expected_rate_bps(18.44, 1500, RATE_FAST)
+        assert rate / 1e6 == pytest.approx(126.7, rel=0.02)
+
+    def test_matches_paper_base_rate_for_small_aggregates(self):
+        """Table 1: 4.47-packet aggregates at MCS15 -> ~97.3 Mbps."""
+        rate = expected_rate_bps(4.47, 1500, RATE_FAST)
+        assert rate / 1e6 == pytest.approx(97.3, rel=0.02)
+
+    def test_matches_paper_slow_station_rate(self):
+        """Table 1: 1.89-packet aggregates at MCS0 -> ~6.5 Mbps."""
+        rate = expected_rate_bps(1.89, 1500, RATE_SLOW)
+        assert rate / 1e6 == pytest.approx(6.5, rel=0.02)
+
+    def test_zero_packets_zero_rate(self):
+        assert expected_rate_bps(0, 1500, RATE_FAST) == 0.0
+
+    def test_aggregation_amortises_overhead(self):
+        small = expected_rate_bps(1, 1500, RATE_FAST)
+        large = expected_rate_bps(32, 1500, RATE_FAST)
+        assert large > small
+
+    def test_goodput_below_phy_rate(self):
+        assert expected_rate_bps(64, 1500, RATE_FAST) < RATE_FAST.bps
+
+
+class TestRateTable:
+    def test_mcs_table_has_16_entries(self):
+        assert sorted(HT20_MCS_TABLE) == list(range(16))
+
+    def test_fast_station_rate_is_mcs15(self):
+        assert RATE_FAST.mbps == pytest.approx(144.4)
+        assert RATE_FAST.ht
+
+    def test_slow_station_rate_is_mcs0(self):
+        assert RATE_SLOW.mbps == pytest.approx(7.2)
+
+    def test_legacy_rate_does_not_aggregate(self):
+        assert not RATE_LEGACY_1M.ht
+        assert RATE_LEGACY_1M.mbps == 1.0
+
+    def test_unknown_mcs_raises(self):
+        with pytest.raises(ValueError):
+            mcs(16)
+
+    def test_single_stream_rates_increase_with_index(self):
+        rates = [mcs(i).bps for i in range(8)]
+        assert rates == sorted(rates)

@@ -1,0 +1,60 @@
+"""Tests for the text plot renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import text_bars, text_cdf
+
+
+class TestTextCdf:
+    def test_empty_samples(self):
+        assert text_cdf([]) == "(no samples)"
+
+    def test_rows_and_monotone_values(self):
+        out = text_cdf([1, 5, 2, 9, 3], rows=5)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        values = [float(line.split()[1]) for line in lines]
+        assert values == sorted(values)
+
+    def test_max_sample_gets_full_bar(self):
+        out = text_cdf([1.0, 10.0], rows=2, width=10)
+        last = out.splitlines()[-1]
+        assert "█" * 10 in last
+
+    def test_log_scale_compresses_high_values(self):
+        linear = text_cdf([1.0, 10.0, 100.0, 1000.0], rows=4, width=40)
+        log = text_cdf([1.0, 10.0, 100.0, 1000.0], rows=4, width=40,
+                       log_x=True)
+        # On a log axis the median bar is visibly longer than on linear.
+        linear_mid = linear.splitlines()[1].count("█")
+        log_mid = log.splitlines()[1].count("█")
+        assert log_mid > linear_mid
+
+    def test_unit_appears(self):
+        assert "ms" in text_cdf([1.0], unit="ms")
+
+
+class TestTextBars:
+    def test_empty(self):
+        assert text_bars({}) == "(no data)"
+
+    def test_largest_value_fills_width(self):
+        out = text_bars({"a": 1.0, "b": 4.0}, width=8)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("█") == 8
+        assert a_line.count("█") == 2
+
+    def test_labels_and_values_present(self):
+        out = text_bars({"FIFO": 29.7, "Airtime": 89.1}, unit=" Mbps")
+        assert "FIFO" in out and "Airtime" in out
+        assert "Mbps" in out
+
+    def test_explicit_max_scales_bars(self):
+        out = text_bars({"x": 5.0}, width=10, max_value=10.0)
+        assert out.count("█") == 5
+
+    def test_zero_values_do_not_crash(self):
+        out = text_bars({"x": 0.0, "y": 0.0})
+        assert "x" in out

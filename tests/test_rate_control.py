@@ -1,0 +1,188 @@
+"""Tests for the rate-control extension (channel model + Minstrel)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedOptions
+from repro.mac.ap import APConfig, Scheme
+from repro.phy.channel import StationChannel
+from repro.phy.rate_control import MinstrelRateController
+from repro.phy.rates import HT20_MCS_TABLE, RATE_FAST, RATE_LEGACY_1M, mcs
+from repro.traffic.udp import UdpDownloadFlow
+
+
+class TestStationChannel:
+    def test_reliable_rates_use_base_error(self):
+        channel = StationChannel(max_reliable_mcs=4, base_error=0.05)
+        assert channel.error_prob(mcs(3)) == 0.05
+        assert channel.error_prob(mcs(4)) == 0.05
+
+    def test_error_grows_above_reliable_rate(self):
+        channel = StationChannel(max_reliable_mcs=2)
+        probs = [channel.error_prob(mcs(i)) for i in range(2, 8)]
+        assert probs == sorted(probs)
+        assert probs[-1] > 0.9
+
+    def test_error_capped_below_one(self):
+        channel = StationChannel(max_reliable_mcs=0)
+        assert channel.error_prob(mcs(7)) <= 0.95
+
+    def test_legacy_rates_always_reliable(self):
+        channel = StationChannel(max_reliable_mcs=0)
+        assert channel.error_prob(RATE_LEGACY_1M) == channel.base_error
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StationChannel(max_reliable_mcs=99)
+        with pytest.raises(ValueError):
+            StationChannel(base_error=1.0)
+
+
+class TestMinstrel:
+    def make(self, **kwargs):
+        rates = [HT20_MCS_TABLE[i] for i in range(8)]
+        return MinstrelRateController(rates, random.Random(1), **kwargs)
+
+    def test_initially_optimistic_picks_fastest(self):
+        controller = self.make()
+        assert controller.best_rate() is mcs(7)
+
+    def test_learns_to_avoid_failing_rates(self):
+        controller = self.make()
+        channel = StationChannel(max_reliable_mcs=3, step_error=0.5)
+        rng = random.Random(2)
+        for _ in range(500):
+            rate = controller.current_rate()
+            success = rng.random() >= channel.error_prob(rate)
+            controller.report(rate, success)
+        # Converges to the highest reliable rate (within one step).
+        best = controller.best_rate()
+        assert best.bps <= mcs(4).bps
+        assert best.bps >= mcs(2).bps
+
+    def test_probing_samples_other_rates(self):
+        controller = self.make(probe_interval=5)
+        seen = {controller.current_rate().name for _ in range(50)}
+        assert len(seen) > 1
+
+    def test_report_ignores_unknown_rate(self):
+        controller = self.make()
+        controller.report(RATE_LEGACY_1M, True)  # no crash
+
+    def test_stats_expose_attempts(self):
+        controller = self.make()
+        rate = controller.current_rate()
+        controller.report(rate, True)
+        assert controller.stats()[rate.name][1] == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MinstrelRateController([], random.Random(1))
+        with pytest.raises(ValueError):
+            MinstrelRateController([RATE_FAST], random.Random(1), ewma=0.0)
+
+
+class TestApIntegration:
+    def test_rate_control_converges_and_delivers(self):
+        """An AP with rate control on a degraded channel must settle near
+        the channel's sustainable rate and keep goodput flowing."""
+        channels = {0: StationChannel(max_reliable_mcs=3, step_error=0.5)}
+        tb = Testbed(
+            [RATE_FAST],
+            TestbedOptions(
+                scheme=Scheme.AIRTIME,
+                seed=3,
+                ap_config=APConfig(rate_control=True),
+                station_channels=channels,
+            ),
+        )
+        flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                               rate_bps=20e6).start()
+        tb.sim.run(until_us=5_000_000.0)
+        controller = tb.ap._rate_controllers[0]
+        assert controller.best_rate().bps <= mcs(4).bps
+        assert flow.sink.rx_packets > 1000
+
+    def test_rate_control_beats_pinned_overfast_rate(self):
+        """Learning the channel must outperform stubbornly transmitting
+        at a rate the channel cannot sustain."""
+        channels = {0: StationChannel(max_reliable_mcs=3, step_error=0.45)}
+
+        def goodput(rate_control):
+            tb = Testbed(
+                [RATE_FAST],
+                TestbedOptions(
+                    scheme=Scheme.AIRTIME,
+                    seed=3,
+                    ap_config=APConfig(rate_control=rate_control),
+                    station_channels=channels,
+                ),
+            )
+            flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                                   rate_bps=30e6).start()
+            tb.sim.run(until_us=5_000_000.0)
+            return flow.sink.rx_bytes
+
+        assert goodput(True) > goodput(False)
+
+    def test_codel_tuner_follows_learned_rate(self):
+        """A station degrading below 12 Mbps must get the relaxed CoDel
+        parameters via the rate-control feedback (§3.1.1)."""
+        from repro.core.codel import CODEL_SLOW_STATION
+
+        channels = {0: StationChannel(max_reliable_mcs=0, step_error=0.6)}
+        tb = Testbed(
+            [RATE_FAST],
+            TestbedOptions(
+                scheme=Scheme.AIRTIME,
+                seed=3,
+                ap_config=APConfig(rate_control=True),
+                station_channels=channels,
+            ),
+        )
+        UdpDownloadFlow(tb.sim, tb.server, tb.stations[0], rate_bps=10e6).start()
+        tb.sim.run(until_us=10_000_000.0)
+        # MCS0 = 7.2 Mbps < 12 Mbps threshold.
+        assert tb.ap.codel_tuner.params_for(0) is CODEL_SLOW_STATION
+
+
+class TestClientQueueing:
+    def test_fifo_client_option(self):
+        tb = Testbed([RATE_FAST], TestbedOptions(client_queueing="fifo"))
+        from repro.qdisc.pfifo import PfifoQdisc
+        from repro.core.packet import AccessCategory
+
+        assert isinstance(tb.stations[0]._uplink[AccessCategory.BE], PfifoQdisc)
+
+    def test_invalid_client_queueing(self):
+        from repro.mac.station import ClientStation
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError):
+            ClientStation(0, RATE_FAST, Simulator(), queueing="red")
+
+    def test_fq_codel_client_protects_ping_behind_upload(self):
+        """The reason Ubuntu clients behave: a bulk upload must not add
+        seconds of delay to the client's own ping replies."""
+        import statistics
+
+        from repro.traffic.ping import PingFlow
+        from repro.traffic.tcp import TcpConnection
+
+        def slow_station_ping(queueing):
+            tb = Testbed(
+                [RATE_FAST, RATE_FAST, mcs(0)],
+                TestbedOptions(scheme=Scheme.AIRTIME, seed=1,
+                               client_queueing=queueing),
+            )
+            TcpConnection(tb.sim, tb.server, tb.stations[2],
+                          direction="up").start()
+            ping = PingFlow(tb.sim, tb.server, tb.stations[2]).start(
+                delay_us=1000.0)
+            tb.sim.run(until_us=8_000_000.0)
+            return statistics.median(ping.rtts_ms)
+
+        assert slow_station_ping("fq_codel") < slow_station_ping("fifo")

@@ -1,0 +1,50 @@
+"""Tests for the paper-data constants and the report generator plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.report import ShapeCheck, _checks_table
+
+
+class TestPaperData:
+    def test_table1_baseline_shares_sum_to_one(self):
+        assert sum(r.airtime_share for r in paper_data.TABLE1_BASELINE) == (
+            pytest.approx(1.0, abs=0.01)
+        )
+
+    def test_table1_fair_shares_are_thirds(self):
+        for row in paper_data.TABLE1_FAIR:
+            assert row.airtime_share == pytest.approx(1 / 3)
+
+    def test_table1_totals_match_paper_text(self):
+        base_total = sum(r.predicted_mbps for r in paper_data.TABLE1_BASELINE)
+        fair_total = sum(r.predicted_mbps for r in paper_data.TABLE1_FAIR)
+        assert base_total == pytest.approx(26.2, abs=0.3)
+        assert fair_total == pytest.approx(86.7, abs=0.3)
+
+    def test_table2_has_all_16_cells(self):
+        assert len(paper_data.TABLE2) == 16
+        schemes = {k[0] for k in paper_data.TABLE2}
+        assert schemes == {"FIFO", "FQ-CoDel", "FQ-MAC", "Airtime fair FQ"}
+
+    def test_table2_headline_holds_in_paper_numbers(self):
+        """Sanity: the paper's own numbers support its claim that FQ-MAC
+        BE beats FIFO VO."""
+        fq_mac_be = paper_data.TABLE2[("FQ-MAC", "BE", 5.0)]
+        fifo_vo = paper_data.TABLE2[("FIFO", "VO", 5.0)]
+        assert fq_mac_be.mos > fifo_vo.mos
+
+    def test_headlines_present(self):
+        assert paper_data.FIGURE_HEADLINES["fig9_throughput_gain"] == 5.4
+
+
+class TestShapeChecks:
+    def test_check_rendering(self):
+        table = _checks_table([
+            ShapeCheck("claim A", True, "42"),
+            ShapeCheck("claim B", False, "0"),
+        ])
+        assert "✓" in table and "✗" in table
+        assert "claim A" in table

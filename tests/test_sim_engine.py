@@ -1,0 +1,181 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import (
+    US_PER_MS,
+    US_PER_SEC,
+    PeriodicTimer,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_single_event_runs_at_scheduled_time(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10.0]
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30.0, lambda: order.append("c"))
+        sim.schedule(10.0, lambda: order.append("a"))
+        sim.schedule(20.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self, sim):
+        order = []
+        for name in "abcd":
+            sim.schedule(5.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_priority_breaks_ties_before_seq(self, sim):
+        order = []
+        sim.schedule(5.0, lambda: order.append("low"), priority=1)
+        sim.schedule(5.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_schedule_in_past_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: sim.schedule_at(20.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [20.0]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        times = []
+        sim.schedule(7.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_nested_scheduling_during_callback(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_from_earlier_event(self, sim):
+        fired = []
+        later = sim.schedule(10.0, lambda: fired.append("later"))
+        sim.schedule(5.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        sim.schedule(100.0, lambda: None)
+        sim.run(until_us=50.0)
+        assert sim.now == 50.0
+        assert sim.pending_events == 1
+
+    def test_run_until_resumes(self, sim):
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(sim.now))
+        sim.run(until_us=50.0)
+        sim.run(until_us=150.0)
+        assert fired == [100.0]
+        assert sim.now == 150.0
+
+    def test_run_until_advances_clock_even_with_empty_queue(self, sim):
+        sim.run(until_us=42.0)
+        assert sim.now == 42.0
+
+    def test_step_runs_one_event(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        assert sim.step() is True
+        assert order == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_reentrant_run_raises(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_pending_events_counts_live_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+
+class TestConversions:
+    def test_sec_conversion(self):
+        assert Simulator.sec(1.5) == 1.5 * US_PER_SEC
+
+    def test_ms_conversion(self):
+        assert Simulator.ms(2.0) == 2.0 * US_PER_MS
+
+    def test_now_sec(self, sim):
+        sim.schedule(US_PER_SEC, lambda: None)
+        sim.run()
+        assert sim.now_sec == 1.0
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.run(until_us=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_first_delay_override(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        timer.start(first_delay_us=0.0)
+        sim.run(until_us=25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_halts_timer(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.schedule(25.0, timer.stop)
+        sim.run(until_us=100.0)
+        assert times == [10.0, 20.0]
+
+    def test_stop_from_within_callback(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: (times.append(sim.now), timer.stop()))
+        timer.start()
+        sim.run(until_us=100.0)
+        assert times == [10.0]

@@ -1,0 +1,96 @@
+"""Tests for the stock round-robin station scheduler."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.station_rr import RoundRobinScheduler
+
+
+class Harness:
+    def __init__(self, hw_depth=2):
+        self.backlogs: Dict[int, int] = {}
+        self.hw: List[int] = []
+        self.hw_depth = hw_depth
+        self.scheduler = RoundRobinScheduler(
+            has_backlog=lambda s: self.backlogs.get(s, 0) > 0,
+            build_aggregate=self._build,
+            hw_full=lambda: len(self.hw) >= self.hw_depth,
+        )
+
+    def _build(self, station):
+        self.backlogs[station] -= 1
+        self.hw.append(station)
+        return 1
+
+    def give_backlog(self, station, packets):
+        self.backlogs[station] = self.backlogs.get(station, 0) + packets
+        self.scheduler.wake(station)
+
+    def drain_hw(self):
+        out, self.hw = self.hw, []
+        return out
+
+
+def test_round_robin_alternates_stations():
+    h = Harness(hw_depth=1)
+    h.give_backlog(1, 10)
+    h.give_backlog(2, 10)
+    served = []
+    for _ in range(6):
+        h.scheduler.schedule()
+        served.extend(h.drain_hw())
+    assert served == [1, 2, 1, 2, 1, 2]
+
+
+def test_equal_transmission_opportunities_regardless_of_cost():
+    """The stock scheduler is airtime-oblivious — this is the anomaly."""
+    h = Harness(hw_depth=1)
+    h.give_backlog(1, 100)
+    h.give_backlog(2, 100)
+    counts = {1: 0, 2: 0}
+    for _ in range(50):
+        h.scheduler.schedule()
+        for s in h.drain_hw():
+            counts[s] += 1
+            # Airtime reports are accepted and ignored.
+            h.scheduler.report_tx_airtime(s, 10_000.0 if s == 1 else 100.0)
+    assert counts[1] == counts[2]
+
+
+def test_empty_station_leaves_ring():
+    h = Harness(hw_depth=1)
+    h.give_backlog(1, 1)
+    h.scheduler.schedule()
+    h.drain_hw()
+    h.give_backlog(2, 5)
+    for _ in range(3):
+        h.scheduler.schedule()
+        assert h.drain_hw() == [2]
+
+
+def test_wake_is_idempotent():
+    h = Harness()
+    h.give_backlog(1, 5)
+    h.scheduler.wake(1)
+    h.scheduler.wake(1)
+    h.scheduler.schedule()
+    h.drain_hw()
+    h.backlogs[1] = 0
+    h.scheduler.schedule()
+    assert h.drain_hw() == []
+
+
+def test_fills_hardware_queue():
+    h = Harness(hw_depth=3)
+    h.give_backlog(1, 10)
+    h.scheduler.schedule()
+    assert len(h.hw) == 3
+
+
+def test_rx_airtime_hook_is_noop():
+    h = Harness()
+    h.scheduler.report_rx_airtime(1, 1_000.0)
+    h.give_backlog(1, 1)
+    h.scheduler.schedule()
+    assert h.drain_hw() == [1]

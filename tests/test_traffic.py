@@ -1,0 +1,131 @@
+"""Tests for UDP, ping, and VoIP traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import AccessCategory
+from repro.mac.ap import Scheme
+from repro.traffic.ping import PingFlow
+from repro.traffic.udp import UdpDownloadFlow
+from repro.traffic.voip import VOIP_INTERVAL_US, VOIP_PACKET_BYTES, VoipFlow
+from tests.conftest import make_testbed
+
+
+class TestUdpFlow:
+    def test_cbr_rate_is_respected(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                               rate_bps=12_000_000.0).start()
+        tb.sim.run(until_us=1_000_000.0)
+        # 12 Mbps of 1500B packets = 1000 pps.
+        assert flow.tx_packets == pytest.approx(1000, abs=2)
+
+    def test_sink_counts_goodput(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                               rate_bps=8_000_000.0).start()
+        tb.sim.run(until_us=1_000_000.0)
+        flow.sink.reset_window()
+        tb.sim.run(until_us=2_000_000.0)
+        measured = flow.sink.window_throughput_bps()
+        assert measured == pytest.approx(8_000_000.0, rel=0.05)
+
+    def test_delay_samples_collected(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                               rate_bps=1_000_000.0).start()
+        tb.sim.run(until_us=500_000.0)
+        assert flow.sink.delays_us
+        assert all(d > 0 for d in flow.sink.delays_us)
+
+    def test_stop_halts_emission(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        flow = UdpDownloadFlow(tb.sim, tb.server, tb.stations[0],
+                               rate_bps=1_000_000.0).start()
+        tb.sim.schedule(200_000.0, flow.stop)
+        tb.sim.run(until_us=1_000_000.0)
+        assert flow.tx_packets < 250
+
+    def test_invalid_rate(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        with pytest.raises(ValueError):
+            UdpDownloadFlow(tb.sim, tb.server, tb.stations[0], rate_bps=0.0)
+
+
+class TestPingFlow:
+    def test_rtt_measured_on_idle_network(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        ping = PingFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=1_000_000.0)
+        assert len(ping.rtts_ms) >= 9
+        # Idle network: RTT = 2x wire delay + 2 WiFi TXOPs, well under 5ms.
+        assert all(rtt < 5.0 for rtt in ping.rtts_ms)
+
+    def test_rtt_includes_queueing_delay(self):
+        tb = make_testbed(Scheme.FIFO)
+        ping = PingFlow(tb.sim, tb.server, tb.stations[2]).start()
+        UdpDownloadFlow(tb.sim, tb.server, tb.stations[2],
+                        rate_bps=20_000_000.0).start()
+        tb.sim.run(until_us=3_000_000.0)
+        assert ping.rtts_ms
+        assert max(ping.rtts_ms) > 10.0
+
+    def test_reset_window_discards_samples(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        ping = PingFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=500_000.0)
+        ping.reset_window()
+        assert ping.rtts_ms == []
+
+    def test_custom_interval(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        ping = PingFlow(tb.sim, tb.server, tb.stations[0],
+                        interval_us=10_000.0).start()
+        tb.sim.run(until_us=500_000.0)
+        assert ping.tx_probes == pytest.approx(50, abs=1)
+
+
+class TestVoipFlow:
+    def test_isochronous_emission(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        voice = VoipFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=1_000_000.0)
+        assert voice.tx_packets == pytest.approx(50, abs=1)  # 20ms spacing
+
+    def test_good_network_gives_high_mos(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        voice = VoipFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=3_000_000.0)
+        voice.stop()
+        tb.sim.run(until_us=4_000_000.0)
+        stats = voice.stats()
+        assert stats.mos > 4.3
+        assert stats.loss_fraction == 0.0
+
+    def test_loss_lowers_mos(self):
+        from repro.analysis.mos import estimate_mos
+
+        clean = estimate_mos(20.0, 1.0, 0.0)
+        lossy = estimate_mos(20.0, 1.0, 0.10)
+        assert lossy < clean - 1.0
+
+    def test_vo_marking_propagates(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        voice = VoipFlow(tb.sim, tb.server, tb.stations[0],
+                         ac=AccessCategory.VO).start()
+        tb.sim.run(until_us=200_000.0)
+        assert voice.delays_us  # delivered through the VO path
+
+    def test_reset_window_restarts_loss_accounting(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        voice = VoipFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=1_000_000.0)
+        voice.reset_window()
+        tb.sim.run(until_us=2_000_000.0)
+        stats = voice.stats()
+        assert stats.samples == pytest.approx(50, abs=2)
+
+    def test_packet_parameters_are_g711(self):
+        assert VOIP_PACKET_BYTES == 172
+        assert VOIP_INTERVAL_US == 20_000.0

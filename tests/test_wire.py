@@ -1,0 +1,43 @@
+"""Tests for the wired network substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, flow_id_allocator
+from repro.mac.ap import Scheme
+from tests.conftest import make_testbed
+
+
+class TestWireDelay:
+    def test_one_way_delay_applied_downstream(self):
+        tb = make_testbed(Scheme.AIRTIME, wire_delay_us=5000.0)
+        arrivals = []
+        flow = flow_id_allocator()
+        tb.stations[0].register_handler(flow, lambda p: arrivals.append(tb.sim.now))
+        tb.server.send(Packet(flow, 100, dst_station=0))
+        tb.sim.run()
+        assert arrivals[0] >= 5000.0
+
+    def test_round_trip_includes_both_directions(self):
+        from repro.traffic.ping import PingFlow
+
+        tb = make_testbed(Scheme.AIRTIME, wire_delay_us=25_000.0)
+        ping = PingFlow(tb.sim, tb.server, tb.stations[0]).start()
+        tb.sim.run(until_us=500_000.0)
+        assert min(ping.rtts_ms) >= 50.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_testbed(Scheme.AIRTIME, wire_delay_us=-1.0)
+
+    def test_server_counts_received_packets(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        tb.stations[0].send(Packet(flow_id_allocator(), 100))
+        tb.sim.run()
+        assert tb.server.rx_packets == 1
+
+    def test_unregistered_flow_is_dropped_silently(self):
+        tb = make_testbed(Scheme.AIRTIME)
+        tb.stations[0].send(Packet(flow_id_allocator(), 100))
+        tb.sim.run()  # no handler registered: no exception
