@@ -15,7 +15,7 @@ Not figures from the paper, but direct tests of the paper's design
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.analysis.fairness import jain_index
 from repro.experiments.config import three_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
@@ -24,7 +24,18 @@ from repro.experiments.workloads import (
     tcp_bidir,
 )
 from repro.mac.ap import APConfig, Scheme
+from repro.runner import RunSpec
 from repro.traffic.udp import UdpDownloadFlow
+
+
+def _pair(fn: str, arg: str):
+    """Run the (on, off) ablation pair through the shared runner."""
+    specs = [
+        RunSpec.make(f"benchmarks.bench_ablations:{fn}",
+                     label=f"ablation/{fn}/{value}", **{arg: value})
+        for value in (True, False)
+    ]
+    return tuple(get_runner().run_values(specs))
 
 
 def _slow_codel_drops(tuning_enabled: bool) -> int:
@@ -81,7 +92,7 @@ def _bulk_total(sparse_enabled: bool) -> float:
 
 def test_ablation_codel_lowrate_tuning(benchmark):
     on, off = benchmark.pedantic(
-        lambda: (_slow_codel_drops(True), _slow_codel_drops(False)),
+        lambda: _pair("_slow_codel_drops", "tuning_enabled"),
         rounds=1, iterations=1,
     )
     emit("Ablation — CoDel low-rate tuning (§3.1.1)",
@@ -91,7 +102,7 @@ def test_ablation_codel_lowrate_tuning(benchmark):
 
 def test_ablation_rx_airtime_accounting(benchmark):
     with_rx, without_rx = benchmark.pedantic(
-        lambda: (_bidir_jain(True), _bidir_jain(False)),
+        lambda: _pair("_bidir_jain", "account_rx"),
         rounds=1, iterations=1,
     )
     emit("Ablation — RX airtime accounting (§3.2)",
@@ -103,7 +114,7 @@ def test_ablation_rx_airtime_accounting(benchmark):
 
 def test_ablation_sparse_station_cost(benchmark):
     with_opt, without_opt = benchmark.pedantic(
-        lambda: (_bulk_total(True), _bulk_total(False)),
+        lambda: _pair("_bulk_total", "sparse_enabled"),
         rounds=1, iterations=1,
     )
     emit("Ablation — sparse-station optimisation cost",

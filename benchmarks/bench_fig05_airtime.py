@@ -6,7 +6,7 @@ toward the transmission-time ratio (~50% slow); Airtime gives 1/3 each.
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import airtime_udp
 from repro.mac.ap import Scheme
 
@@ -14,7 +14,7 @@ from repro.mac.ap import Scheme
 def test_fig05_airtime_shares(benchmark):
     results = benchmark.pedantic(
         lambda: airtime_udp.run(duration_s=DURATION_S, warmup_s=WARMUP_S,
-                                seed=SEED),
+                                seed=SEED, runner=get_runner()),
         rounds=1,
         iterations=1,
     )

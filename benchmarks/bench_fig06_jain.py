@@ -7,7 +7,7 @@ bidirectional (indirect uplink control).
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import fairness_index
 from repro.mac.ap import Scheme
 
@@ -15,7 +15,7 @@ from repro.mac.ap import Scheme
 def test_fig06_jain_index(benchmark):
     results = benchmark.pedantic(
         lambda: fairness_index.run(duration_s=DURATION_S, warmup_s=WARMUP_S,
-                                   seed=SEED),
+                                   seed=SEED, runner=get_runner()),
         rounds=1,
         iterations=1,
     )

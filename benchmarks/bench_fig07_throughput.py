@@ -7,7 +7,7 @@ rises substantially.
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import tcp_throughput
 from repro.mac.ap import Scheme
 
@@ -15,7 +15,8 @@ from repro.mac.ap import Scheme
 def test_fig07_tcp_throughput(benchmark):
     results = benchmark.pedantic(
         lambda: tcp_throughput.run(duration_s=max(DURATION_S, 12.0),
-                                   warmup_s=max(WARMUP_S, 5.0), seed=SEED),
+                                   warmup_s=max(WARMUP_S, 5.0), seed=SEED,
+                                   runner=get_runner()),
         rounds=1,
         iterations=1,
     )

@@ -6,13 +6,14 @@ ping-only fourth station when the optimisation is enabled.
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import sparse
 
 
 def test_fig08_sparse_station(benchmark):
     results = benchmark.pedantic(
-        lambda: sparse.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED),
+        lambda: sparse.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED,
+                           runner=get_runner()),
         rounds=1,
         iterations=1,
     )

@@ -13,6 +13,7 @@ from benchmarks.conftest import (
     SCALING_WARMUP_S,
     SEED,
     emit,
+    get_runner,
 )
 from repro.experiments import scaling
 from repro.mac.ap import Scheme
@@ -21,7 +22,8 @@ from repro.mac.ap import Scheme
 def test_fig09_scaling_airtime(benchmark):
     results = benchmark.pedantic(
         lambda: scaling.run(duration_s=SCALING_DURATION_S,
-                            warmup_s=SCALING_WARMUP_S, seed=SEED),
+                            warmup_s=SCALING_WARMUP_S, seed=SEED,
+                            runner=get_runner()),
         rounds=1,
         iterations=1,
     )

@@ -8,7 +8,7 @@ large page takes 35 s under FIFO).
 
 from __future__ import annotations
 
-from benchmarks.conftest import SEED, WEB_DURATION_S, emit
+from benchmarks.conftest import SEED, WEB_DURATION_S, emit, get_runner
 from repro.experiments import web
 from repro.mac.ap import Scheme
 from repro.traffic.web import LARGE_PAGE, SMALL_PAGE
@@ -16,7 +16,8 @@ from repro.traffic.web import LARGE_PAGE, SMALL_PAGE
 
 def test_fig11_web_plt(benchmark):
     results = benchmark.pedantic(
-        lambda: web.run(duration_s=WEB_DURATION_S, warmup_s=5.0, seed=SEED),
+        lambda: web.run(duration_s=WEB_DURATION_S, warmup_s=5.0, seed=SEED,
+                        runner=get_runner()),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,187 @@
+"""Performance benchmark: simulator events/sec and report wall time.
+
+Measures the two costs every experiment pays —
+
+* the **event-loop hot path** (pure dispatch, and dispatch under heavy
+  timer cancellation, the TCP/CoDel pattern that motivated lazy heap
+  compaction),
+* a **real single run** (one scheme of the Figure 5 UDP scenario), and
+* the **report fan-out**: wall time of the scaled-down report serial
+  (``jobs=1``) vs parallel (``jobs=N``), caching disabled for both.
+
+Results are written to ``BENCH_speed.json`` at the repository root so
+successive PRs can track the perf trajectory.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py [--scale 0.05] [--jobs N]
+
+This file intentionally defines no pytest cases: it is a measurement
+driver, not a correctness gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiments.report import generate_report
+from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, default_jobs
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_speed.json"
+
+
+# ----------------------------------------------------------------------
+# Event-loop microbenchmarks
+# ----------------------------------------------------------------------
+def bench_dispatch(n_events: int = 300_000) -> float:
+    """Pure dispatch: a self-rescheduling chain of ``n_events`` callbacks."""
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return n_events / wall
+
+
+def bench_cancel_heavy(n_rounds: int = 60_000) -> float:
+    """Dispatch under churn: every round schedules a far-future timer and
+    cancels the previous one — the retransmit-timer pattern that fills the
+    heap with dead entries and exercises lazy compaction."""
+    sim = Simulator()
+    remaining = [n_rounds]
+    pending_timer = [None]
+
+    def tick() -> None:
+        if pending_timer[0] is not None:
+            pending_timer[0].cancel()
+        pending_timer[0] = sim.schedule(1_000_000.0, lambda: None)
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    start = time.perf_counter()
+    sim.run(until_us=float(n_rounds) + 10.0)
+    wall = time.perf_counter() - start
+    return n_rounds / wall
+
+
+# ----------------------------------------------------------------------
+# Workload benchmarks
+# ----------------------------------------------------------------------
+def bench_single_run(duration_s: float = 3.0) -> dict:
+    """One real scheme run; events/sec comes from the runner's metrics."""
+    spec = RunSpec.make(
+        "repro.experiments.airtime_udp:run_scheme",
+        label="speed/single-run",
+        scheme=Scheme.FIFO,
+        duration_s=duration_s,
+        warmup_s=1.0,
+        seed=1,
+    )
+    result = Runner(jobs=1, cache=None).map([spec])[0]
+    metrics = result.metrics
+    return {
+        "scenario": "airtime_udp/FIFO",
+        "sim_duration_s": duration_s,
+        "events": metrics.events,
+        "wall_s": round(metrics.wall_s, 4),
+        "events_per_sec": round(metrics.events_per_sec),
+    }
+
+
+def bench_report(scale: float, jobs: int) -> dict:
+    """Scaled-down report wall time, serial vs parallel (no cache)."""
+    start = time.perf_counter()
+    serial = generate_report(scale, runner=Runner(jobs=1, cache=None))
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_runner = Runner(jobs=jobs, cache=None)
+    parallel = generate_report(scale, runner=parallel_runner)
+    parallel_wall = time.perf_counter() - start
+
+    strip = lambda text: [  # noqa: E731 - wall-time footnotes differ by design
+        line for line in text.splitlines() if "section wall time" not in line
+    ]
+    return {
+        "duration_scale": scale,
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 2),
+        "parallel_wall_s": round(parallel_wall, 2),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "pool_used": parallel_runner.used_pool,
+        "tables_identical": strip(serial) == strip(parallel),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="report duration scale (default 0.05)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: $REPRO_JOBS "
+                             "or the CPU count)")
+    parser.add_argument("--skip-report", action="store_true",
+                        help="only run the event-loop and single-run benches")
+    parser.add_argument("-o", "--output", default=str(OUTPUT),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    print("engine: pure dispatch ...", flush=True)
+    dispatch_eps = bench_dispatch()
+    print(f"  {dispatch_eps:,.0f} events/sec")
+    print("engine: cancel-heavy dispatch ...", flush=True)
+    cancel_eps = bench_cancel_heavy()
+    print(f"  {cancel_eps:,.0f} rounds/sec")
+    print("workload: single run ...", flush=True)
+    single = bench_single_run()
+    print(f"  {single['events_per_sec']:,} events/sec "
+          f"({single['events']:,} events in {single['wall_s']}s)")
+
+    report: dict | None = None
+    if not args.skip_report:
+        print(f"report: serial vs parallel (scale {args.scale:g}, "
+              f"jobs {jobs}) ...", flush=True)
+        report = bench_report(args.scale, jobs)
+        print(f"  serial {report['serial_wall_s']}s, parallel "
+              f"{report['parallel_wall_s']}s -> {report['speedup']}x "
+              f"(pool used: {report['pool_used']}, tables identical: "
+              f"{report['tables_identical']})")
+
+    payload = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "engine": {
+            "dispatch_events_per_sec": round(dispatch_eps),
+            "cancel_heavy_rounds_per_sec": round(cancel_eps),
+        },
+        "single_run": single,
+        "report": report,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,13 +7,14 @@ Paper reference (Table 1):
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import table1
 
 
 def test_table1(benchmark):
     result = benchmark.pedantic(
-        lambda: table1.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED),
+        lambda: table1.run(duration_s=DURATION_S, warmup_s=WARMUP_S, seed=SEED,
+                           runner=get_runner()),
         rounds=1,
         iterations=1,
     )

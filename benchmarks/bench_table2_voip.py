@@ -7,7 +7,7 @@ voice, at much higher total throughput.
 
 from __future__ import annotations
 
-from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit
+from benchmarks.conftest import DURATION_S, SEED, WARMUP_S, emit, get_runner
 from repro.experiments import voip
 from repro.mac.ap import Scheme
 
@@ -15,7 +15,8 @@ from repro.mac.ap import Scheme
 def test_table2_voip(benchmark):
     results = benchmark.pedantic(
         lambda: voip.run(duration_s=max(DURATION_S, 10.0),
-                         warmup_s=max(WARMUP_S, 5.0), seed=SEED),
+                         warmup_s=max(WARMUP_S, 5.0), seed=SEED,
+                         runner=get_runner()),
         rounds=1,
         iterations=1,
     )

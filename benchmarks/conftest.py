@@ -5,6 +5,13 @@ prints the same rows/series the paper reports.  By default the runs are
 scaled down (a few simulated seconds instead of the paper's 30 s x 30
 repetitions) so the whole suite finishes in minutes; set ``REPRO_FULL=1``
 in the environment for full-length runs.
+
+The benchmarks submit their independent simulation runs through
+:mod:`repro.runner`.  ``REPRO_JOBS=N`` fans the runs of each figure out
+across N worker processes (results are bit-identical to serial); the
+default is 1 so that per-figure wall times stay directly comparable.
+Set ``REPRO_BENCH_CACHE=1`` to reuse ``.repro-cache/`` results — useful
+when iterating on assertions, wrong when measuring speed.
 """
 
 from __future__ import annotations
@@ -12,6 +19,29 @@ from __future__ import annotations
 import os
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Worker processes per figure (honours REPRO_JOBS; serial by default).
+try:
+    JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1") or "1"))
+except ValueError:
+    JOBS = 1
+
+_RUNNER = None
+
+
+def get_runner():
+    """The shared benchmark Runner (lazy, one per pytest session)."""
+    global _RUNNER
+    if _RUNNER is None:
+        from repro.runner import ResultCache, Runner
+
+        cache = (
+            ResultCache()
+            if os.environ.get("REPRO_BENCH_CACHE", "0") == "1"
+            else None
+        )
+        _RUNNER = Runner(jobs=JOBS, cache=cache)
+    return _RUNNER
 
 #: (duration_s, warmup_s) per mode.
 DURATION_S = 30.0 if FULL else 8.0

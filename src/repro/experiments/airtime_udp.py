@@ -14,14 +14,15 @@ airtime.  The paper's headline observations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import three_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import saturating_udp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 
-__all__ = ["AirtimeUdpResult", "run", "format_table", "ALL_SCHEMES"]
+__all__ = ["AirtimeUdpResult", "run", "specs", "format_table", "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 
@@ -64,13 +65,34 @@ def run_scheme(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    duration_s: float = 10.0,
+    warmup_s: float = 3.0,
+    seed: int = 1,
+) -> List[RunSpec]:
+    """One spec per scheme (the runner's unit of parallelism)."""
+    return [
+        RunSpec.make(
+            "repro.experiments.airtime_udp:run_scheme",
+            label=f"airtime_udp/{scheme.value}",
+            scheme=scheme,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        for scheme in schemes
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     duration_s: float = 10.0,
     warmup_s: float = 3.0,
     seed: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[AirtimeUdpResult]:
-    return [run_scheme(s, duration_s, warmup_s, seed) for s in schemes]
+    return execute(specs(schemes, duration_s, warmup_s, seed), runner)
 
 
 def format_table(results: Sequence[AirtimeUdpResult]) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.experiments import (
     airtime_udp,
@@ -29,65 +29,84 @@ from repro.experiments import (
     voip,
     web,
 )
+from repro.runner import ResultCache, Runner, default_jobs
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_table1(duration: float, warmup: float, seed: int) -> str:
-    return table1.format_table(table1.run(duration, warmup, seed))
+def _run_table1(duration: float, warmup: float, seed: int,
+                runner: Optional[Runner] = None) -> str:
+    return table1.format_table(table1.run(duration, warmup, seed,
+                                          runner=runner))
 
 
-def _run_fig04(duration: float, warmup: float, seed: int) -> str:
+def _run_fig04(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return latency.format_table(latency.run(duration_s=duration,
-                                            warmup_s=warmup, seed=seed))
+                                            warmup_s=warmup, seed=seed,
+                                            runner=runner))
 
 
-def _run_fig05(duration: float, warmup: float, seed: int) -> str:
+def _run_fig05(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return airtime_udp.format_table(
-        airtime_udp.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        airtime_udp.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                             runner=runner)
     )
 
 
-def _run_fig06(duration: float, warmup: float, seed: int) -> str:
+def _run_fig06(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return fairness_index.format_table(
-        fairness_index.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        fairness_index.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                                runner=runner)
     )
 
 
-def _run_fig07(duration: float, warmup: float, seed: int) -> str:
+def _run_fig07(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return tcp_throughput.format_table(
-        tcp_throughput.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        tcp_throughput.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                                runner=runner)
     )
 
 
-def _run_fig08(duration: float, warmup: float, seed: int) -> str:
+def _run_fig08(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return sparse.format_table(
-        sparse.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        sparse.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                        runner=runner)
     )
 
 
-def _run_fig09(duration: float, warmup: float, seed: int) -> str:
+def _run_fig09(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return scaling.format_table(
-        scaling.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        scaling.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                         runner=runner)
     )
 
 
-def _run_table2(duration: float, warmup: float, seed: int) -> str:
+def _run_table2(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return voip.format_table(
-        voip.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        voip.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                      runner=runner)
     )
 
 
-def _run_fig11(duration: float, warmup: float, seed: int) -> str:
+def _run_fig11(duration: float, warmup: float, seed: int,
+               runner: Optional[Runner] = None) -> str:
     return web.format_table(
-        web.run(duration_s=duration, warmup_s=warmup, seed=seed)
+        web.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                     runner=runner)
     )
 
 
-Runner = Callable[[float, float, int], str]
+ExperimentFn = Callable[..., str]
 
 #: Experiment id -> (description, default duration, default warmup, runner).
-EXPERIMENTS: dict[str, tuple[str, float, float, Runner]] = {
+EXPERIMENTS: dict[str, tuple[str, float, float, ExperimentFn]] = {
     "table1": ("analytical model vs measured UDP (Table 1)", 20, 5, _run_table1),
     "fig04": ("latency with TCP download (Figures 1/4)", 20, 8, _run_fig04),
     "fig05": ("airtime shares, one-way UDP (Figure 5)", 20, 5, _run_fig05),
@@ -112,6 +131,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warmup", type=float, default=None,
                         help="warm-up in simulated seconds")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or "
+                             "the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write .repro-cache/")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -126,13 +150,16 @@ def main(argv: list[str] | None = None) -> int:
         print("use 'list' to see available ids", file=sys.stderr)
         return 2
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    runner = Runner(jobs=jobs, cache=None if args.no_cache else ResultCache())
+
     for name in names:
-        desc, default_dur, default_warm, runner = EXPERIMENTS[name]
+        desc, default_dur, default_warm, experiment = EXPERIMENTS[name]
         duration = args.duration if args.duration is not None else default_dur
         warmup = args.warmup if args.warmup is not None else default_warm
         start = time.time()
         print(f"\n=== {name}: {desc} ===")
-        print(runner(duration, warmup, args.seed))
+        print(experiment(duration, warmup, args.seed, runner=runner))
         print(f"[{time.time() - start:.0f}s wall]")
     return 0
 

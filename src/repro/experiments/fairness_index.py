@@ -11,7 +11,7 @@ because the AP only controls the downlink directly (the uplink is merely
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.fairness import jain_index
 from repro.experiments.config import three_station_rates
@@ -22,8 +22,10 @@ from repro.experiments.workloads import (
     tcp_download,
 )
 from repro.mac.ap import APConfig, Scheme
+from repro.runner import RunSpec, Runner, execute
 
-__all__ = ["FairnessResult", "run", "format_table", "TRAFFIC_TYPES", "ALL_SCHEMES"]
+__all__ = ["FairnessResult", "run", "run_one", "specs", "format_table",
+           "TRAFFIC_TYPES", "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 TRAFFIC_TYPES = ("udp", "tcp_download", "tcp_bidir")
@@ -36,7 +38,7 @@ class FairnessResult:
     jain: Dict[str, float]
 
 
-def _run_one(
+def run_one(
     scheme: Scheme,
     traffic: str,
     duration_s: float,
@@ -64,6 +66,35 @@ def _run_one(
     )
 
 
+# Backwards-compatible alias for the pre-runner private name.
+_run_one = run_one
+
+
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    traffic_types: Sequence[str] = TRAFFIC_TYPES,
+    duration_s: float = 10.0,
+    warmup_s: float = 3.0,
+    seed: int = 1,
+    account_rx: bool = True,
+) -> List[RunSpec]:
+    """One spec per (scheme, traffic type) cell."""
+    return [
+        RunSpec.make(
+            "repro.experiments.fairness_index:run_one",
+            label=f"jain/{scheme.value}/{traffic}",
+            scheme=scheme,
+            traffic=traffic,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            account_rx=account_rx,
+        )
+        for scheme in schemes
+        for traffic in traffic_types
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     traffic_types: Sequence[str] = TRAFFIC_TYPES,
@@ -71,15 +102,16 @@ def run(
     warmup_s: float = 3.0,
     seed: int = 1,
     account_rx: bool = True,
+    runner: Optional[Runner] = None,
 ) -> List[FairnessResult]:
+    values = execute(
+        specs(schemes, traffic_types, duration_s, warmup_s, seed, account_rx),
+        runner,
+    )
+    cells = iter(values)
     results = []
     for scheme in schemes:
-        jain = {
-            traffic: _run_one(
-                scheme, traffic, duration_s, warmup_s, seed, account_rx
-            )
-            for traffic in traffic_types
-        }
+        jain = {traffic: next(cells) for traffic in traffic_types}
         results.append(FairnessResult(scheme=scheme, jain=jain))
     return results
 

@@ -16,15 +16,17 @@ scheduled less often to pay for its upstream airtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.config import FAST_STATIONS, SLOW_STATION, three_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import add_pings, tcp_bidir, tcp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 
-__all__ = ["LatencyResult", "run", "run_scheme", "format_table", "ALL_SCHEMES"]
+__all__ = ["LatencyResult", "run", "run_scheme", "specs", "format_table",
+           "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 
@@ -72,17 +74,39 @@ def run_scheme(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    duration_s: float = 15.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+    bidirectional: bool = False,
+) -> List[RunSpec]:
+    """One spec per scheme (the runner's unit of parallelism)."""
+    return [
+        RunSpec.make(
+            "repro.experiments.latency:run_scheme",
+            label=f"latency/{scheme.value}",
+            scheme=scheme,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            bidirectional=bidirectional,
+        )
+        for scheme in schemes
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     duration_s: float = 15.0,
     warmup_s: float = 5.0,
     seed: int = 1,
     bidirectional: bool = False,
+    runner: Optional[Runner] = None,
 ) -> List[LatencyResult]:
-    return [
-        run_scheme(s, duration_s, warmup_s, seed, bidirectional)
-        for s in schemes
-    ]
+    return execute(
+        specs(schemes, duration_s, warmup_s, seed, bidirectional), runner
+    )
 
 
 def format_table(results: Sequence[LatencyResult]) -> str:

@@ -5,9 +5,16 @@ paper's reported values (:mod:`repro.experiments.paper_data`), and
 evaluates the *shape checks* — the qualitative claims each table/figure
 makes — marking each as reproduced or not.
 
+The independent simulation runs behind each section fan out through
+:mod:`repro.runner`: ``--jobs N`` parallelises across worker processes
+(default: all CPUs) and completed runs are cached under ``.repro-cache/``
+so a re-run only simulates what changed.  Tables are bit-identical for
+any worker count.
+
 Usage::
 
     python -m repro.experiments.report [--duration-scale 1.0] [-o FILE]
+        [--jobs N] [--no-cache]
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 import argparse
 import time
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.experiments import (
     airtime_udp,
@@ -30,6 +37,7 @@ from repro.experiments import (
 )
 from repro.experiments import paper_data
 from repro.mac.ap import Scheme
+from repro.runner import ResultCache, Runner, default_jobs
 
 __all__ = ["generate_report", "main"]
 
@@ -56,8 +64,9 @@ def _checks_table(checks: List[ShapeCheck]) -> str:
 # ----------------------------------------------------------------------
 # Per-experiment sections
 # ----------------------------------------------------------------------
-def _section_table1(scale: float) -> str:
-    result = table1.run(duration_s=20 * scale, warmup_s=5 * scale)
+def _section_table1(scale: float, runner: Optional[Runner] = None) -> str:
+    result = table1.run(duration_s=20 * scale, warmup_s=5 * scale,
+                       runner=runner)
     checks = [
         ShapeCheck(
             "FIFO: slow station takes ~79% of airtime",
@@ -98,8 +107,9 @@ def _section_table1(scale: float) -> str:
     ])
 
 
-def _section_latency(scale: float) -> str:
-    results = latency.run(duration_s=20 * scale, warmup_s=8 * scale)
+def _section_latency(scale: float, runner: Optional[Runner] = None) -> str:
+    results = latency.run(duration_s=20 * scale, warmup_s=8 * scale,
+                          runner=runner)
     by_scheme = {r.scheme: r for r in results}
     fifo = by_scheme[Scheme.FIFO].fast_summary().median
     fq_mac = by_scheme[Scheme.FQ_MAC].fast_summary().median
@@ -130,8 +140,9 @@ def _section_latency(scale: float) -> str:
     ])
 
 
-def _section_airtime_udp(scale: float) -> str:
-    results = airtime_udp.run(duration_s=20 * scale, warmup_s=5 * scale)
+def _section_airtime_udp(scale: float, runner: Optional[Runner] = None) -> str:
+    results = airtime_udp.run(duration_s=20 * scale, warmup_s=5 * scale,
+                              runner=runner)
     by_scheme = {r.scheme: r for r in results}
     checks = [
         ShapeCheck(
@@ -162,8 +173,9 @@ def _section_airtime_udp(scale: float) -> str:
     ])
 
 
-def _section_jain(scale: float) -> str:
-    results = fairness_index.run(duration_s=15 * scale, warmup_s=6 * scale)
+def _section_jain(scale: float, runner: Optional[Runner] = None) -> str:
+    results = fairness_index.run(duration_s=15 * scale, warmup_s=6 * scale,
+                                 runner=runner)
     by_scheme = {r.scheme: r for r in results}
     airtime = by_scheme[Scheme.AIRTIME]
     checks = [
@@ -192,8 +204,9 @@ def _section_jain(scale: float) -> str:
     ])
 
 
-def _section_tcp_throughput(scale: float) -> str:
-    results = tcp_throughput.run(duration_s=20 * scale, warmup_s=8 * scale)
+def _section_tcp_throughput(scale: float, runner: Optional[Runner] = None) -> str:
+    results = tcp_throughput.run(duration_s=20 * scale, warmup_s=8 * scale,
+                                 runner=runner)
     by_scheme = {r.scheme: r for r in results}
     fifo = by_scheme[Scheme.FIFO]
     airtime = by_scheme[Scheme.AIRTIME]
@@ -222,8 +235,9 @@ def _section_tcp_throughput(scale: float) -> str:
     ])
 
 
-def _section_sparse(scale: float) -> str:
-    results = sparse.run(duration_s=15 * scale, warmup_s=5 * scale)
+def _section_sparse(scale: float, runner: Optional[Runner] = None) -> str:
+    results = sparse.run(duration_s=15 * scale, warmup_s=5 * scale,
+                         runner=runner)
     by_key = {(r.bulk_traffic, r.sparse_enabled): r for r in results}
     gains = {}
     for bulk in ("udp", "tcp"):
@@ -245,8 +259,9 @@ def _section_sparse(scale: float) -> str:
     ])
 
 
-def _section_scaling(scale: float) -> str:
-    results = scaling.run(duration_s=30 * scale, warmup_s=10 * scale)
+def _section_scaling(scale: float, runner: Optional[Runner] = None) -> str:
+    results = scaling.run(duration_s=30 * scale, warmup_s=10 * scale,
+                          runner=runner)
     by_scheme = {r.scheme: r for r in results}
     fq_codel = by_scheme[Scheme.FQ_CODEL]
     airtime = by_scheme[Scheme.AIRTIME]
@@ -287,8 +302,9 @@ def _section_scaling(scale: float) -> str:
     ])
 
 
-def _section_voip(scale: float) -> str:
-    results = voip.run(duration_s=12 * scale, warmup_s=6 * scale)
+def _section_voip(scale: float, runner: Optional[Runner] = None) -> str:
+    results = voip.run(duration_s=12 * scale, warmup_s=6 * scale,
+                       runner=runner)
     by_key = {(r.scheme, r.qos, r.base_delay_ms): r for r in results}
     checks = []
     fifo_be = by_key[(Scheme.FIFO, "BE", 5.0)]
@@ -325,8 +341,9 @@ def _section_voip(scale: float) -> str:
     ])
 
 
-def _section_web(scale: float) -> str:
-    results = web.run(duration_s=40 * scale, warmup_s=5 * scale)
+def _section_web(scale: float, runner: Optional[Runner] = None) -> str:
+    results = web.run(duration_s=40 * scale, warmup_s=5 * scale,
+                      runner=runner)
     by_key = {(r.scheme, r.page): r for r in results}
     checks = []
     for page in ("small", "large"):
@@ -345,7 +362,7 @@ def _section_web(scale: float) -> str:
     ])
 
 
-SECTIONS: List[Callable[[float], str]] = [
+SECTIONS: List[Callable[[float, Optional[Runner]], str]] = [
     _section_table1,
     _section_latency,
     _section_airtime_udp,
@@ -358,8 +375,17 @@ SECTIONS: List[Callable[[float], str]] = [
 ]
 
 
-def generate_report(duration_scale: float = 1.0) -> str:
-    """Run everything and return the full markdown report."""
+def generate_report(
+    duration_scale: float = 1.0,
+    runner: Optional[Runner] = None,
+) -> str:
+    """Run everything and return the full markdown report.
+
+    ``runner`` controls parallelism and caching; ``None`` preserves the
+    historical serial in-process behaviour.  Section tables are identical
+    for any worker count (runs are deterministic and collected in
+    submission order); only the wall-time footnotes vary.
+    """
     parts = [
         "# EXPERIMENTS — paper vs measured",
         "",
@@ -372,7 +398,7 @@ def generate_report(duration_scale: float = 1.0) -> str:
     ]
     for section in SECTIONS:
         start = time.time()
-        parts.append(section(duration_scale))
+        parts.append(section(duration_scale, runner))
         parts.append(f"\n*(section wall time: {time.time() - start:.0f}s)*\n")
     return "\n".join(parts)
 
@@ -383,14 +409,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="scale all experiment durations (0.2 = quick)")
     parser.add_argument("-o", "--output", default=None,
                         help="write the report to this file")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or "
+                             "the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write .repro-cache/")
     args = parser.parse_args(argv)
-    report = generate_report(args.duration_scale)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = None if args.no_cache else ResultCache()
+    runner = Runner(jobs=jobs, cache=cache)
+    report = generate_report(args.duration_scale, runner=runner)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
         print(f"wrote {args.output}")
     else:
         print(report)
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"[cache: {cache.hits} hits, {cache.misses} misses "
+              f"under {cache.root}/]")
     return 0
 
 

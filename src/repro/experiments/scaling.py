@@ -15,15 +15,17 @@ bulk TCP downloads alongside the slow station.  Headline results:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.config import thirty_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import add_pings, tcp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 
-__all__ = ["ScalingResult", "run", "run_scheme", "format_table", "SCALING_SCHEMES"]
+__all__ = ["ScalingResult", "run", "run_scheme", "specs", "format_table",
+           "SCALING_SCHEMES"]
 
 #: The 30-station test skipped FIFO (as the paper did).
 SCALING_SCHEMES = (Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
@@ -89,13 +91,34 @@ def run_scheme(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = SCALING_SCHEMES,
+    duration_s: float = 20.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+) -> List[RunSpec]:
+    """One spec per scheme; each run simulates all 30 stations."""
+    return [
+        RunSpec.make(
+            "repro.experiments.scaling:run_scheme",
+            label=f"scaling/{scheme.value}",
+            scheme=scheme,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        for scheme in schemes
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = SCALING_SCHEMES,
     duration_s: float = 20.0,
     warmup_s: float = 5.0,
     seed: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[ScalingResult]:
-    return [run_scheme(s, duration_s, warmup_s, seed) for s in schemes]
+    return execute(specs(schemes, duration_s, warmup_s, seed), runner)
 
 
 def format_table(results: Sequence[ScalingResult]) -> str:

@@ -11,10 +11,12 @@ levels and throughputs, and evaluate equations (1)–(5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.experiments.airtime_udp import run_scheme
+from repro.experiments import airtime_udp
+from repro.experiments.airtime_udp import run_scheme  # noqa: F401 (re-export)
 from repro.mac.ap import Scheme
+from repro.runner import Runner, execute
 from repro.model.analytical import (
     StationModel,
     StationPrediction,
@@ -55,12 +57,21 @@ def _station_models(
     ]
 
 
-def run(duration_s: float = 10.0, warmup_s: float = 3.0, seed: int = 1) -> Table1Result:
+def run(
+    duration_s: float = 10.0,
+    warmup_s: float = 3.0,
+    seed: int = 1,
+    runner: Optional[Runner] = None,
+) -> Table1Result:
     rates = three_station_rates()
     stations = list(range(len(rates)))
 
-    fifo = run_scheme(Scheme.FIFO, duration_s, warmup_s, seed)
-    fair = run_scheme(Scheme.AIRTIME, duration_s, warmup_s, seed)
+    fifo, fair = execute(
+        airtime_udp.specs(
+            (Scheme.FIFO, Scheme.AIRTIME), duration_s, warmup_s, seed
+        ),
+        runner,
+    )
 
     fifo_models = _station_models(
         [fifo.mean_aggregation[i] for i in stations], rates

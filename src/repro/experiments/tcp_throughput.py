@@ -9,14 +9,16 @@ simultaneous uploads (same pattern, higher variance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import three_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import tcp_bidir, tcp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 
-__all__ = ["TcpThroughputResult", "run", "run_scheme", "format_table", "ALL_SCHEMES"]
+__all__ = ["TcpThroughputResult", "run", "run_scheme", "specs", "format_table",
+           "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 
@@ -74,17 +76,39 @@ def run_scheme(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    duration_s: float = 15.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+    bidirectional: bool = False,
+) -> List[RunSpec]:
+    """One spec per scheme (the runner's unit of parallelism)."""
+    return [
+        RunSpec.make(
+            "repro.experiments.tcp_throughput:run_scheme",
+            label=f"tcp/{scheme.value}",
+            scheme=scheme,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            bidirectional=bidirectional,
+        )
+        for scheme in schemes
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     duration_s: float = 15.0,
     warmup_s: float = 5.0,
     seed: int = 1,
     bidirectional: bool = False,
+    runner: Optional[Runner] = None,
 ) -> List[TcpThroughputResult]:
-    return [
-        run_scheme(s, duration_s, warmup_s, seed, bidirectional)
-        for s in schemes
-    ]
+    return execute(
+        specs(schemes, duration_s, warmup_s, seed, bidirectional), runner
+    )
 
 
 def format_table(results: Sequence[TcpThroughputResult]) -> str:

@@ -15,16 +15,18 @@ applications no longer depend on DiffServ markings surviving the path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.packet import AccessCategory
 from repro.experiments.config import SLOW_STATION, four_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import tcp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 from repro.traffic.voip import VoipFlow, VoipStats
 
-__all__ = ["VoipResult", "run", "run_case", "format_table", "ALL_SCHEMES"]
+__all__ = ["VoipResult", "run", "run_case", "specs", "format_table",
+           "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 BASE_DELAYS_MS = (5.0, 50.0)
@@ -79,21 +81,42 @@ def run_case(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    base_delays_ms: Sequence[float] = BASE_DELAYS_MS,
+    duration_s: float = 15.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+) -> List[RunSpec]:
+    """One spec per (scheme, QoS marking, base delay) cell of Table 2."""
+    return [
+        RunSpec.make(
+            "repro.experiments.voip:run_case",
+            label=f"voip/{scheme.value}/{qos}/{delay:g}ms",
+            scheme=scheme,
+            qos=qos,
+            base_delay_ms=delay,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        for scheme in schemes
+        for qos in ("VO", "BE")
+        for delay in base_delays_ms
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     base_delays_ms: Sequence[float] = BASE_DELAYS_MS,
     duration_s: float = 15.0,
     warmup_s: float = 5.0,
     seed: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[VoipResult]:
-    results = []
-    for scheme in schemes:
-        for qos in ("VO", "BE"):
-            for delay in base_delays_ms:
-                results.append(
-                    run_case(scheme, qos, delay, duration_s, warmup_s, seed)
-                )
-    return results
+    return execute(
+        specs(schemes, base_delays_ms, duration_s, warmup_s, seed), runner
+    )
 
 
 def format_table(results: Sequence[VoipResult]) -> str:

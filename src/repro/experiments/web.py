@@ -20,9 +20,11 @@ from repro.experiments.config import FAST_STATIONS, SLOW_STATION, three_station_
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import tcp_download
 from repro.mac.ap import Scheme
+from repro.runner import RunSpec, Runner, execute
 from repro.traffic.web import LARGE_PAGE, SMALL_PAGE, WebFetch, WebPage
 
-__all__ = ["WebResult", "run", "run_case", "format_table", "ALL_SCHEMES"]
+__all__ = ["WebResult", "run", "run_case", "specs", "format_table",
+           "ALL_SCHEMES"]
 
 ALL_SCHEMES = (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC, Scheme.AIRTIME)
 
@@ -97,6 +99,31 @@ def run_case(
     )
 
 
+def specs(
+    schemes: Sequence[Scheme] = ALL_SCHEMES,
+    pages: Sequence[WebPage] = (SMALL_PAGE, LARGE_PAGE),
+    fast_fetcher: bool = True,
+    duration_s: float = 30.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+) -> List[RunSpec]:
+    """One spec per (page, scheme) cell of Figure 11."""
+    return [
+        RunSpec.make(
+            "repro.experiments.web:run_case",
+            label=f"web/{page.name}/{scheme.value}",
+            scheme=scheme,
+            page=page,
+            fast_fetcher=fast_fetcher,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+        )
+        for page in pages
+        for scheme in schemes
+    ]
+
+
 def run(
     schemes: Sequence[Scheme] = ALL_SCHEMES,
     pages: Sequence[WebPage] = (SMALL_PAGE, LARGE_PAGE),
@@ -104,14 +131,12 @@ def run(
     duration_s: float = 30.0,
     warmup_s: float = 5.0,
     seed: int = 1,
+    runner: Optional[Runner] = None,
 ) -> List[WebResult]:
-    results = []
-    for page in pages:
-        for scheme in schemes:
-            results.append(
-                run_case(scheme, page, fast_fetcher, duration_s, warmup_s, seed)
-            )
-    return results
+    return execute(
+        specs(schemes, pages, fast_fetcher, duration_s, warmup_s, seed),
+        runner,
+    )
 
 
 def format_table(results: Sequence[WebResult]) -> str:

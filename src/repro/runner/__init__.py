@@ -1,0 +1,41 @@
+"""Parallel experiment runner: declarative specs, fan-out, result cache.
+
+The experiments that rebuild the paper's tables and figures are grids of
+independent simulation runs (scheme × scenario × seed).  This package
+turns each run into a :class:`RunSpec`, executes batches of them through
+a :class:`Runner` — in-process or across a process pool, with bit-identical
+output either way — and memoises results on disk via :class:`ResultCache`
+so regenerating a report only simulates what changed.
+
+Typical use::
+
+    from repro.runner import ResultCache, Runner
+    from repro.experiments import latency
+
+    runner = Runner(jobs=4, cache=ResultCache())
+    results = latency.run(runner=runner)   # 4 schemes, fanned out
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import (
+    RunMetrics,
+    RunResult,
+    Runner,
+    default_jobs,
+    execute,
+)
+from repro.runner.spec import RunSpec, canonical, derive_seed, spec_digest
+
+__all__ = [
+    "ResultCache",
+    "RunMetrics",
+    "RunResult",
+    "RunSpec",
+    "Runner",
+    "canonical",
+    "default_cache_dir",
+    "default_jobs",
+    "derive_seed",
+    "execute",
+    "spec_digest",
+]

@@ -1,0 +1,107 @@
+"""On-disk result cache for experiment runs.
+
+Results live under ``.repro-cache/`` (overridable via the
+``REPRO_CACHE_DIR`` environment variable or the constructor), one pickle
+per run, named by the spec digest.  The digest already folds in the
+package version, so bumping ``repro.__version__`` invalidates every
+entry without any cleanup pass; the version is *also* stored inside the
+payload and re-checked on load as a belt-and-braces guard against digest
+scheme changes.
+
+Writes are atomic (tempfile + ``os.replace``) so a crashed or parallel
+writer can never leave a truncated entry behind; concurrent writers of
+the same spec produce identical payloads, so last-writer-wins is safe.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+import repro
+from repro.runner.spec import RunSpec
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_DEFAULT_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(_ENV_DIR) or _DEFAULT_DIR)
+
+
+class ResultCache:
+    """Pickle-per-run cache keyed by ``(spec digest, package version)``."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        version: str = repro.__version__,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.digest(self.version)}.pkl"
+
+    def get(self, spec: RunSpec) -> Tuple[bool, Any]:
+        """Return ``(hit, payload)``; payload is the stored dict on a hit."""
+        path = self.path_for(spec)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Missing, truncated, corrupted, or written against a renamed
+            # class.  Unpickling arbitrary corrupt bytes can raise nearly
+            # anything (ValueError/KeyError/IndexError from misread
+            # opcodes, not just UnpicklingError), and every case is the
+            # same plain miss; the entry is rebuilt on put().
+            self.misses += 1
+            return False, None
+        if not isinstance(payload, dict) or payload.get("version") != self.version:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, payload
+
+    def put(self, spec: RunSpec, value: Any, metrics: Any = None) -> None:
+        """Store a result atomically; IO errors are non-fatal (cache only)."""
+        payload = {
+            "version": self.version,
+            "fn": spec.fn,
+            "label": spec.label,
+            "value": value,
+            "metrics": metrics,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path_for(spec))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

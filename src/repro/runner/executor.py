@@ -1,0 +1,175 @@
+"""Fan-out executor: run many independent specs, serially or in parallel.
+
+Every experiment run in this repository is embarrassingly parallel — each
+builds its own :class:`~repro.sim.engine.Simulator` and RNG streams from
+an explicit seed, shares no state with its siblings, and is fully
+deterministic.  The :class:`Runner` exploits that: specs fan out to a
+``ProcessPoolExecutor`` and results are collected *in submission order*,
+so the output of ``jobs=N`` is bit-identical to ``jobs=1``.
+
+The pool is an optimisation, never a requirement: with ``jobs=1``, when
+there is only one spec, or when process pools are unavailable on the
+platform (no ``/dev/shm``, restricted sandbox, broken fork), execution
+falls back to plain in-process calls with identical results.
+
+Each result carries :class:`RunMetrics` — wall time, events executed, and
+events/sec — measured via the engine's process-wide event counter, so
+perf regressions in the simulator hot path surface in every report run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+from repro.sim.engine import events_processed_total
+
+__all__ = ["RunMetrics", "RunResult", "Runner", "execute", "default_jobs"]
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` if set, else the CPU count."""
+    env = os.environ.get(_ENV_JOBS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Cost accounting for one executed (or cached) run."""
+
+    wall_s: float
+    events: int
+    cached: bool = False
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A spec, its return value, and what it cost to produce."""
+
+    spec: RunSpec
+    value: Any
+    metrics: RunMetrics
+
+
+def _execute_spec(spec: RunSpec) -> Tuple[Any, RunMetrics]:
+    """Run one spec in this process, measuring wall time and events."""
+    events_before = events_processed_total()
+    start = time.perf_counter()
+    value = spec.call()
+    wall = time.perf_counter() - start
+    events = events_processed_total() - events_before
+    return value, RunMetrics(wall_s=wall, events=events)
+
+
+@dataclass
+class Runner:
+    """Executes :class:`RunSpec` batches with caching and a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes.  ``None`` means :func:`default_jobs`;
+        ``1`` forces in-process execution (no pool, no pickling).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching entirely.
+    """
+
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    #: Set after each map(): True when the last batch used the pool.
+    used_pool: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs is None:
+            self.jobs = default_jobs()
+        self.jobs = max(1, int(self.jobs))
+
+    # ------------------------------------------------------------------
+    def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        """Execute every spec, returning results in spec order."""
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        pending: List[Tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                hit, payload = self.cache.get(spec)
+                if hit:
+                    stored = payload.get("metrics")
+                    metrics = RunMetrics(
+                        wall_s=getattr(stored, "wall_s", 0.0),
+                        events=getattr(stored, "events", 0),
+                        cached=True,
+                    )
+                    results[index] = RunResult(spec, payload["value"], metrics)
+                    continue
+            pending.append((index, spec))
+
+        for (index, spec), (value, metrics) in zip(
+            pending, self._execute_batch([spec for _, spec in pending])
+        ):
+            if self.cache is not None:
+                self.cache.put(spec, value, metrics)
+            results[index] = RunResult(spec, value, metrics)
+        return results  # type: ignore[return-value]
+
+    def run_values(self, specs: Iterable[RunSpec]) -> List[Any]:
+        """Like :meth:`map` but returning just the run values."""
+        return [result.value for result in self.map(specs)]
+
+    # ------------------------------------------------------------------
+    def _execute_batch(
+        self, specs: Sequence[RunSpec]
+    ) -> List[Tuple[Any, RunMetrics]]:
+        if not specs:
+            return []
+        self.used_pool = False
+        if self.jobs > 1 and len(specs) > 1:
+            try:
+                return self._execute_pool(specs)
+            except (BrokenProcessPool, OSError, ImportError, NotImplementedError):
+                # Pools need working fork/spawn + shared semaphores; fall
+                # back to in-process execution rather than failing the run.
+                self.used_pool = False
+        return [_execute_spec(spec) for spec in specs]
+
+    def _execute_pool(
+        self, specs: Sequence[RunSpec]
+    ) -> List[Tuple[Any, RunMetrics]]:
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Submission order == collection order: determinism does not
+            # depend on which worker finishes first.
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            outputs = [future.result() for future in futures]
+        self.used_pool = True
+        return outputs
+
+
+def execute(specs: Iterable[RunSpec], runner: Optional[Runner] = None) -> List[Any]:
+    """Run specs through ``runner``, or serially in-process when ``None``.
+
+    This is the compatibility shim the experiment modules call: existing
+    code paths (``module.run()`` with no runner) behave exactly as the
+    old serial loops did — same process, same order, no cache.
+    """
+    if runner is None:
+        return [_execute_spec(spec)[0] for spec in specs]
+    return runner.run_values(specs)

@@ -1,0 +1,135 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names one independent simulation run — a target
+function plus keyword arguments — without executing it.  Specs are the
+unit of work the executor fans out to worker processes and the unit of
+identity for the on-disk result cache, so they must be
+
+* **picklable** (they cross the process boundary),
+* **hashable to a stable digest** (the cache key survives interpreter
+  restarts, so ``hash()`` and ``id()`` are useless — we canonicalise the
+  arguments to JSON and digest with SHA-256), and
+* **self-contained** (the target is a dotted ``module:function`` path,
+  resolved inside the worker, never a closure).
+
+Seed derivation lives here too: :func:`derive_seed` maps a base seed plus
+any hashable labels to a deterministic child seed, so sweeps that need
+per-repetition seeds get the same stream regardless of execution order or
+worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+import repro
+
+__all__ = ["RunSpec", "canonical", "derive_seed", "spec_digest"]
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable canonical form.
+
+    Enums collapse to ``[qualified-name, value]``, dataclasses to their
+    field dict, mappings to sorted item lists.  Two argument sets that
+    compare equal canonicalise identically, so the digest is stable
+    across processes and interpreter runs.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips floats exactly; json.dumps uses it anyway, but
+        # being explicit keeps the contract obvious.
+        return float(obj)
+    if isinstance(obj, enum.Enum):
+        return ["enum", f"{type(obj).__module__}.{type(obj).__qualname__}", obj.value]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return ["dataclass", f"{type(obj).__module__}.{type(obj).__qualname__}", fields]
+    if isinstance(obj, dict):
+        return ["dict", sorted((str(k), canonical(v)) for k, v in obj.items())]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(json.dumps(canonical(item)) for item in obj)]
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for a RunSpec digest; "
+        "pass enums, dataclasses, or plain JSON types"
+    )
+
+
+def spec_digest(fn: str, kwargs: Dict[str, Any], version: str) -> str:
+    """SHA-256 digest of ``(fn, kwargs, package version)``."""
+    blob = json.dumps(
+        [fn, canonical(kwargs), version],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def derive_seed(base_seed: int, *labels: Any) -> int:
+    """Derive a deterministic child seed from ``base_seed`` and labels.
+
+    The derivation is order-sensitive in the labels but independent of
+    execution order, worker count, and Python hash randomisation, so a
+    sweep's repetition *k* always simulates the same run.
+    """
+    blob = json.dumps(
+        [int(base_seed), [canonical(label) for label in labels]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, described declaratively.
+
+    ``fn`` is a ``"package.module:function"`` path; ``kwargs`` is a
+    sorted tuple of ``(name, value)`` pairs (tuples keep the dataclass
+    hashable and picklable).  ``label`` is a human-readable tag for
+    progress output and does not affect the digest.
+    """
+
+    fn: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    label: str = field(default="", compare=False)
+
+    @classmethod
+    def make(cls, fn: str, *, label: str = "", **kwargs: Any) -> "RunSpec":
+        """Build a spec from plain keyword arguments."""
+        return cls(fn=fn, kwargs=tuple(sorted(kwargs.items())), label=label)
+
+    @property
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the target function."""
+        module_name, _, attr = self.fn.partition(":")
+        if not attr:
+            raise ValueError(
+                f"RunSpec.fn must be 'module:function', got {self.fn!r}"
+            )
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+    def call(self) -> Any:
+        """Execute the run in the current process."""
+        return self.resolve()(**self.kwargs_dict)
+
+    def digest(self, version: str = repro.__version__) -> str:
+        """Stable cache key: SHA-256 over (fn, kwargs, package version)."""
+        return spec_digest(self.fn, self.kwargs_dict, version)

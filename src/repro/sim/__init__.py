@@ -7,6 +7,7 @@ from repro.sim.engine import (
     PeriodicTimer,
     SimulationError,
     Simulator,
+    events_processed_total,
 )
 from repro.sim.rng import RngFactory
 
@@ -18,4 +19,5 @@ __all__ = [
     "Simulator",
     "US_PER_MS",
     "US_PER_SEC",
+    "events_processed_total",
 ]

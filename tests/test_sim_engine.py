@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.sim import engine
 from repro.sim.engine import (
     US_PER_MS,
     US_PER_SEC,
     PeriodicTimer,
     SimulationError,
     Simulator,
+    events_processed_total,
 )
 
 
@@ -91,6 +93,100 @@ class TestCancellation:
         sim.schedule(5.0, later.cancel)
         sim.run()
         assert fired == []
+
+    def test_cancel_decrements_pending_events(self, sim):
+        """Regression: cancelled events must not count as pending."""
+        events = [sim.schedule(10.0 + i, lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_firing_does_not_corrupt_counts(self, sim):
+        """Cancelling an event that already ran must be a no-op."""
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until_us=1.5)
+        fired.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_pending_consistent_with_step(self, sim):
+        live = sim.schedule(1.0, lambda: None)
+        dead = sim.schedule(2.0, lambda: None)
+        dead.cancel()
+        assert sim.pending_events == 1
+        assert sim.step() is True
+        assert sim.step() is False
+        assert sim.pending_events == 0
+        assert live.cancelled is False
+
+
+class TestHeapCompaction:
+    def test_compaction_drops_dead_entries(self, sim):
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Lazy compaction kicks in once dead entries dominate: the heap
+        # must have shed most of the 150 corpses without being run.
+        assert sim.pending_events == 50
+        assert len(sim._queue) <= 100
+        fired = []
+        for event in events[150:]:
+            event.callback = lambda: fired.append(1)  # type: ignore[misc]
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_execution_order(self, sim):
+        order = []
+        keep = []
+        for i in range(300):
+            event = sim.schedule(float(1 + i % 7), lambda i=i: order.append(i))
+            if i % 3 == 0:
+                event.cancel()
+            else:
+                keep.append((i % 7, i))
+        sim.run()
+        expected = [i for _, i in sorted(keep)]
+        assert order == expected
+
+    def test_small_queues_never_compact(self, sim):
+        events = [sim.schedule(10.0 + i, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the threshold the corpses stay until popped — that's fine.
+        assert sim.pending_events == 0
+        sim.run()
+        assert len(sim._queue) == 0
+
+
+class TestEventCounters:
+    def test_events_processed_per_simulator(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.schedule(100.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_processed == 5  # cancelled pop doesn't count
+
+    def test_events_processed_total_is_global(self):
+        before = events_processed_total()
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert events_processed_total() == before + 3
+
+    def test_event_is_slotted(self):
+        event = Simulator().schedule(1.0, lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1
+
+    def test_compact_threshold_constant_sane(self):
+        assert engine._COMPACT_MIN_CANCELLED >= 2
 
 
 class TestRunControl:
