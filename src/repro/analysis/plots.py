@@ -8,13 +8,14 @@ plotting stack).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 from repro.analysis.stats import percentile
 
-__all__ = ["text_cdf", "text_bars"]
+__all__ = ["text_cdf", "text_bars", "text_timeseries"]
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
 
 
 def _bar(fraction: float, width: int) -> str:
@@ -62,6 +63,57 @@ def text_cdf(
             f"  {label:>6} {value:10.2f} {unit} |{_bar(fraction, width)}"
         )
     return "\n".join(lines)
+
+
+def text_timeseries(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    unit: str = "",
+    label: str = "",
+) -> str:
+    """Render a sampled time series as a one-line sparkline.
+
+    ``points`` is a sequence of ``(t_us, value)`` pairs — the format of
+    :attr:`repro.telemetry.metrics.MetricsRegistry.series` entries (and
+    of the ``series`` arrays in a ``--metrics-out`` JSON file).  Samples
+    are averaged into ``width`` equal time buckets; empty buckets carry
+    the previous value forward, so gaps do not read as dips.
+    """
+    points = [(float(t), float(v)) for t, v in points]
+    if not points:
+        return "(no samples)"
+    t0 = points[0][0]
+    t1 = points[-1][0]
+    values = [v for _, v in points]
+    lo = min(values)
+    hi = max(values)
+    if t1 <= t0 or len(points) == 1:
+        buckets = [values[-1]]
+    else:
+        sums = [0.0] * width
+        counts = [0] * width
+        for t, v in points:
+            index = min(int((t - t0) / (t1 - t0) * width), width - 1)
+            sums[index] += v
+            counts[index] += 1
+        buckets = []
+        last = values[0]
+        for total, n in zip(sums, counts):
+            if n:
+                last = total / n
+            buckets.append(last)
+    span = hi - lo
+    chars = []
+    for value in buckets:
+        fraction = (value - lo) / span if span > 0 else 0.5
+        chars.append(_SPARKS[min(int(fraction * len(_SPARKS)),
+                                 len(_SPARKS) - 1)])
+    window_s = (t1 - t0) / 1e6
+    head = f"  {label} " if label else "  "
+    return (
+        f"{head}[{lo:g}..{hi:g}{unit} over {window_s:g}s, "
+        f"{len(points)} samples]\n  {''.join(chars)}"
+    )
 
 
 def text_bars(

@@ -71,6 +71,24 @@ class AirtimeScheduler:
         self._membership: Dict[int, Optional[str]] = {}
         self.deficits: Dict[int, float] = {}
 
+        # Telemetry: None when disabled (one identity test per site).
+        self._tr_sched = None
+        self._now: Callable[[], float] = lambda: 0.0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def set_trace(self, trace,
+                  now_fn: Optional[Callable[[], float]] = None) -> None:
+        """Attach a trace bus; ``now_fn`` supplies emit timestamps."""
+        self._tr_sched = trace.channel("sched") if trace is not None else None
+        if now_fn is not None:
+            self._now = now_fn
+
+    def deficit_snapshot(self) -> Dict[int, float]:
+        """Current per-station deficits (sampler probe input)."""
+        return dict(self.deficits)
+
     # ------------------------------------------------------------------
     # Station lifecycle
     # ------------------------------------------------------------------
@@ -95,6 +113,11 @@ class AirtimeScheduler:
         else:
             self.old_stations.append(station)
             self._membership[station] = "old"
+        if self._tr_sched is not None:
+            self._tr_sched.emit(
+                self._now(), "station_enter", station=station,
+                list=self._membership[station],
+            )
 
     def _move_to_old(self, station: int) -> None:
         self._remove(station)
@@ -115,11 +138,21 @@ class AirtimeScheduler:
     def report_tx_airtime(self, station: int, airtime_us: float) -> None:
         """Charge ``station`` for a completed transmission to it."""
         self.deficits[station] = self.deficits.get(station, 0.0) - airtime_us
+        if self._tr_sched is not None:
+            self._tr_sched.emit(
+                self._now(), "deficit_charge", station=station,
+                us=airtime_us, deficit=self.deficits[station], dir="tx",
+            )
 
     def report_rx_airtime(self, station: int, airtime_us: float) -> None:
         """Charge ``station`` for airtime of frames received *from* it."""
         if self.account_rx:
             self.deficits[station] = self.deficits.get(station, 0.0) - airtime_us
+            if self._tr_sched is not None:
+                self._tr_sched.emit(
+                    self._now(), "deficit_charge", station=station,
+                    us=airtime_us, deficit=self.deficits[station], dir="rx",
+                )
 
     # ------------------------------------------------------------------
     # Algorithm 3

@@ -70,6 +70,13 @@ class CoDelState:
 
     #: Total packets this state machine has dropped (for accounting).
     drops: int = field(default=0, compare=False)
+    #: Telemetry hook: called as ``on_transition(kind, now_us)`` with
+    #: ``kind`` in {'enter_drop', 'exit_drop'} whenever ``dropping``
+    #: flips.  ``None`` (the default) costs one identity test per
+    #: dequeue; it survives :meth:`reset` so recycled queues stay traced.
+    on_transition: Optional[Callable[[str, float], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def reset(self) -> None:
         """Forget all control state (used when a queue is recycled)."""
@@ -126,6 +133,7 @@ def codel_dequeue(
 
     pkt = queue.pop_head()
     ok_to_drop = _should_drop(pkt, state, now_us, params)
+    was_dropping = state.dropping
 
     if state.dropping:
         if not ok_to_drop:
@@ -156,6 +164,11 @@ def codel_dequeue(
             state.count = 1
         state.lastcount = state.count
         state.drop_next_us = _control_law(now_us, params.interval_us, state.count)
+
+    if state.on_transition is not None and state.dropping != was_dropping:
+        state.on_transition(
+            "enter_drop" if state.dropping else "exit_drop", now_us
+        )
 
     return pkt
 

@@ -82,6 +82,47 @@ class MacFqStructure:
         self.drops_overlimit = 0
         self.drops_codel = 0
 
+        # Telemetry channels; None when tracing is off, so every emit site
+        # is a single identity test.
+        self._layer = "mac"
+        self._tr_queue = None
+        self._tr_codel = None
+        self._sojourn_hist = None
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def set_trace(self, trace, metrics=None, layer: str = "mac") -> None:
+        """Attach a trace bus / metrics registry to this structure.
+
+        ``layer`` labels the emitted records ('mac' for the integrated
+        structure, 'qdisc' when wrapped by
+        :class:`repro.qdisc.fq_codel_qdisc.FqCodelQdisc`).
+        """
+        self._layer = layer
+        self._tr_queue = trace.channel("queue") if trace is not None else None
+        self._tr_codel = trace.channel("codel") if trace is not None else None
+        if metrics is not None:
+            self._sojourn_hist = metrics.histogram(f"{layer}_sojourn_us")
+        if self._tr_codel is not None:
+            for queue in self._queues:
+                queue.codel.on_transition = self._codel_hook(queue)
+            for tid in self._tids.values():
+                tid.overflow_queue.codel.on_transition = self._codel_hook(
+                    tid.overflow_queue
+                )
+
+    def _codel_hook(self, queue: FlowQueue):
+        channel = self._tr_codel
+
+        def on_transition(kind: str, now_us: float) -> None:
+            tid = queue.tid
+            station = tid.station if isinstance(tid, TidState) else None
+            channel.emit(now_us, "state", kind=kind, q=queue.index,
+                         station=station)
+
+        return on_transition
+
     # ------------------------------------------------------------------
     # TID management
     # ------------------------------------------------------------------
@@ -94,6 +135,8 @@ class MacFqStructure:
             # negative indices so they can't collide with pool queues.
             self._overflow_counter += 1
             overflow = FlowQueue(-self._overflow_counter)
+            if self._tr_codel is not None:
+                overflow.codel.on_transition = self._codel_hook(overflow)
             state = TidState(station, ac, overflow)
             self._tids[key] = state
         return state
@@ -119,6 +162,13 @@ class MacFqStructure:
         tid.backlog += 1
         self.backlog_packets += 1
 
+        if self._tr_queue is not None:
+            self._tr_queue.emit(
+                pkt.enqueue_us, "enqueue", layer=self._layer,
+                station=tid.station, flow=pkt.flow_id, q=queue.index,
+                backlog=self.backlog_packets,
+            )
+
         if queue.membership is None:
             # A (re)activating queue starts with a fresh quantum, as in
             # Linux fq_codel — without this the new-queue priority of the
@@ -126,6 +176,11 @@ class MacFqStructure:
             # top-up loop before the queue is ever served.
             queue.deficit = self.quantum
             tid.add_new(queue)
+            if self._tr_queue is not None:
+                self._tr_queue.emit(
+                    pkt.enqueue_us, "flow_new", layer=self._layer,
+                    station=tid.station, flow=pkt.flow_id, q=queue.index,
+                )
 
     def _drop_from_longest_queue(self) -> None:
         """Drop the head packet of the globally longest queue."""
@@ -152,6 +207,8 @@ class MacFqStructure:
             self.drops_overlimit += 1
         else:
             self.drops_codel += 1
+        # Drop *records* are emitted by the unified DropReporter funnel
+        # (repro.core.drops), not here — on_drop chains up to it.
         if self.on_drop is not None:
             self.on_drop(pkt, reason)
 
@@ -187,11 +244,23 @@ class MacFqStructure:
                     tid.move_to_old(queue)
                 else:
                     tid.delete_queue(queue)
+                    if self._tr_queue is not None:
+                        self._tr_queue.emit(
+                            now, "flow_reclaim", layer=self._layer,
+                            station=tid.station, q=queue.index,
+                        )
                 continue
 
             queue.deficit -= pkt.size
             tid.backlog -= 1
             self.backlog_packets -= 1
+            if self._tr_queue is not None:
+                self._tr_queue.emit(
+                    now, "dequeue", layer=self._layer, station=tid.station,
+                    q=queue.index, sojourn_us=now - pkt.enqueue_us,
+                )
+            if self._sojourn_hist is not None:
+                self._sojourn_hist.observe(now - pkt.enqueue_us)
             return pkt
 
     # ------------------------------------------------------------------

@@ -12,7 +12,12 @@ import itertools
 from enum import IntEnum
 from typing import Any, Optional
 
-__all__ = ["AccessCategory", "Packet", "flow_id_allocator"]
+__all__ = [
+    "AccessCategory",
+    "Packet",
+    "flow_id_allocator",
+    "reset_packet_counters",
+]
 
 
 class AccessCategory(IntEnum):
@@ -36,6 +41,20 @@ class AccessCategory(IntEnum):
 
 _pid_counter = itertools.count(1)
 _flow_counter = itertools.count(1)
+
+
+def reset_packet_counters() -> None:
+    """Restart pid/flow-id allocation from 1.
+
+    Packet and flow ids are process-global, so a testbed built after
+    previous runs in the same process would number its packets differently
+    from one built in a fresh pool worker.  Results never depend on the
+    absolute ids, but trace records carry them — resetting at testbed
+    construction makes serial and parallel runs emit identical traces.
+    """
+    global _pid_counter, _flow_counter
+    _pid_counter = itertools.count(1)
+    _flow_counter = itertools.count(1)
 
 
 def flow_id_allocator() -> int:

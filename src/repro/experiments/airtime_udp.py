@@ -21,6 +21,7 @@ from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import saturating_udp_download
 from repro.mac.ap import Scheme
 from repro.runner import RunSpec, Runner, execute
+from repro.telemetry import TelemetryConfig
 
 __all__ = ["AirtimeUdpResult", "run", "specs", "format_table", "ALL_SCHEMES"]
 
@@ -35,6 +36,9 @@ class AirtimeUdpResult:
     airtime_shares: Dict[int, float]
     throughput_mbps: Dict[int, float]
     mean_aggregation: Dict[int, float]
+    #: Telemetry summary of the run (None for untraced runs); cached runs
+    #: replay the same summary a fresh run produced.
+    telemetry: Optional[Dict] = None
 
     @property
     def total_mbps(self) -> float:
@@ -46,9 +50,13 @@ def run_scheme(
     duration_s: float = 10.0,
     warmup_s: float = 3.0,
     seed: int = 1,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> AirtimeUdpResult:
     """Run the UDP airtime scenario for one scheme."""
-    testbed = Testbed(three_station_rates(), TestbedOptions(scheme=scheme, seed=seed))
+    testbed = Testbed(
+        three_station_rates(),
+        TestbedOptions(scheme=scheme, seed=seed, telemetry=telemetry),
+    )
     saturating_udp_download(testbed)
     window_us = testbed.run(duration_s, warmup_s)
     stations = sorted(testbed.stations)
@@ -62,6 +70,7 @@ def run_scheme(
         mean_aggregation={
             i: testbed.tracker.mean_aggregation(i) for i in stations
         },
+        telemetry=testbed.finish_telemetry(),
     )
 
 
@@ -70,19 +79,29 @@ def specs(
     duration_s: float = 10.0,
     warmup_s: float = 3.0,
     seed: int = 1,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[RunSpec]:
-    """One spec per scheme (the runner's unit of parallelism)."""
-    return [
-        RunSpec.make(
-            "repro.experiments.airtime_udp:run_scheme",
-            label=f"airtime_udp/{scheme.value}",
-            scheme=scheme,
-            duration_s=duration_s,
-            warmup_s=warmup_s,
+    """One spec per scheme (the runner's unit of parallelism).
+
+    ``telemetry`` is resolved per run (output paths gain the run label)
+    and travels in the spec kwargs, so it participates in the cache
+    digest: a traced run never collides with an untraced one.
+    """
+    out: List[RunSpec] = []
+    for scheme in schemes:
+        label = f"airtime_udp/{scheme.value}"
+        kwargs = dict(
+            scheme=scheme, duration_s=duration_s, warmup_s=warmup_s,
             seed=seed,
         )
-        for scheme in schemes
-    ]
+        if telemetry is not None:
+            kwargs["telemetry"] = telemetry.for_run(label)
+        out.append(RunSpec.make(
+            "repro.experiments.airtime_udp:run_scheme",
+            label=label,
+            **kwargs,
+        ))
+    return out
 
 
 def run(
@@ -91,8 +110,11 @@ def run(
     warmup_s: float = 3.0,
     seed: int = 1,
     runner: Optional[Runner] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[AirtimeUdpResult]:
-    return execute(specs(schemes, duration_s, warmup_s, seed), runner)
+    return execute(
+        specs(schemes, duration_s, warmup_s, seed, telemetry), runner
+    )
 
 
 def format_table(results: Sequence[AirtimeUdpResult]) -> str:

@@ -5,10 +5,15 @@ Usage::
     python -m repro.experiments.cli list
     python -m repro.experiments.cli table1
     python -m repro.experiments.cli fig05 --duration 30 --warmup 10
+    python -m repro.experiments.cli fig05 --trace traces/ --metrics-out traces/
+    python -m repro.experiments.cli trace summarize traces/*.trace.jsonl
     python -m repro.experiments.cli all
 
 Each experiment prints the same rows/series the paper reports for the
-corresponding table or figure.
+corresponding table or figure.  Result tables go to stdout; progress and
+status messages go to stderr through the ``repro`` logger (``-v`` for
+debug, ``-q`` for warnings only), so piping stdout captures the data and
+nothing else.
 """
 
 from __future__ import annotations
@@ -29,9 +34,19 @@ from repro.experiments import (
     voip,
     web,
 )
-from repro.runner import ResultCache, Runner, default_jobs
+from repro.runner import ResultCache, Runner, RunResult, default_jobs
+from repro.telemetry import (
+    TRACE_CATEGORIES,
+    TelemetryConfig,
+    configure_logging,
+    format_summary,
+    get_logger,
+    summarize_file,
+)
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "TRACEABLE"]
+
+log = get_logger("repro.cli")
 
 
 def _run_table1(duration: float, warmup: float, seed: int,
@@ -41,17 +56,20 @@ def _run_table1(duration: float, warmup: float, seed: int,
 
 
 def _run_fig04(duration: float, warmup: float, seed: int,
-               runner: Optional[Runner] = None) -> str:
+               runner: Optional[Runner] = None,
+               telemetry: Optional[TelemetryConfig] = None) -> str:
     return latency.format_table(latency.run(duration_s=duration,
                                             warmup_s=warmup, seed=seed,
-                                            runner=runner))
+                                            runner=runner,
+                                            telemetry=telemetry))
 
 
 def _run_fig05(duration: float, warmup: float, seed: int,
-               runner: Optional[Runner] = None) -> str:
+               runner: Optional[Runner] = None,
+               telemetry: Optional[TelemetryConfig] = None) -> str:
     return airtime_udp.format_table(
         airtime_udp.run(duration_s=duration, warmup_s=warmup, seed=seed,
-                             runner=runner)
+                        runner=runner, telemetry=telemetry)
     )
 
 
@@ -118,14 +136,86 @@ EXPERIMENTS: dict[str, tuple[str, float, float, ExperimentFn]] = {
     "fig11": ("web page-load times (Figure 11)", 40, 5, _run_fig11),
 }
 
+#: Experiments whose runner accepts a ``telemetry=`` kwarg.
+TRACEABLE = {"fig04", "fig05"}
+
+
+# ----------------------------------------------------------------------
+# `trace` subcommands
+# ----------------------------------------------------------------------
+def _trace_main(argv: list[str]) -> int:
+    """``repro trace summarize FILE...`` — render trace files as tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect JSONL trace files written by --trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize = sub.add_parser(
+        "summarize", help="per-station / per-queue summary of trace files"
+    )
+    summarize.add_argument("files", nargs="+", metavar="FILE",
+                           help="JSONL trace file(s) written by --trace")
+    args = parser.parse_args(argv)
+
+    configure_logging()
+    status = 0
+    for path in args.files:
+        try:
+            summary = summarize_file(path)
+        except (OSError, ValueError) as exc:
+            log.error("cannot summarize %s: %s", path, exc)
+            status = 1
+            continue
+        print(format_summary(summary, title=path))
+    return status
+
+
+# ----------------------------------------------------------------------
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    if args.trace is None and args.metrics_out is None:
+        return None
+    categories: tuple = ()
+    if args.trace_categories:
+        categories = tuple(
+            c.strip() for c in args.trace_categories.split(",") if c.strip()
+        )
+    return TelemetryConfig(
+        trace_path=args.trace,
+        categories=categories,
+        metrics_path=args.metrics_out,
+    )
+
+
+def _run_cost_table(history: list[RunResult]) -> str:
+    """Per-run cost table (wall time, events/sec, peak heap) for --profile."""
+    lines = ["Run cost (per spec)"]
+    lines.append(f"{'label':<28} {'wall s':>8} {'events':>12} "
+                 f"{'ev/s':>10} {'peak heap':>10} {'cached':>6}")
+    for result in history:
+        m = result.metrics
+        heap = f"{m.peak_heap_bytes / 1e6:.1f} MB" if m.peak_heap_bytes else "-"
+        lines.append(
+            f"{result.spec.label:<28} {m.wall_s:8.2f} {m.events:12d} "
+            f"{m.events_per_sec:10.0f} {heap:>10} "
+            f"{'yes' if m.cached else 'no':>6}"
+        )
+    return "\n".join(lines)
+
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # `trace` is a subcommand family, dispatched before the experiment
+    # parser so `repro trace summarize ...` never fights the positional
+    # experiment argument.
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("experiment",
-                        help="experiment id, 'all', or 'list'")
+                        help="experiment id, 'all', 'list', or 'trace'")
     parser.add_argument("--duration", type=float, default=None,
                         help="measurement window in simulated seconds")
     parser.add_argument("--warmup", type=float, default=None,
@@ -136,31 +226,73 @@ def main(argv: list[str] | None = None) -> int:
                              "the CPU count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write .repro-cache/")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more status output (repeat for debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less status output (warnings only)")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="write per-run JSONL event traces under DIR")
+    parser.add_argument("--trace-categories", default=None, metavar="CSV",
+                        help="comma-separated trace categories "
+                             f"({','.join(TRACE_CATEGORIES)}); default all")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="write per-run metrics JSON (counters, "
+                             "histograms, sampled time series) under DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-run peak heap and print a "
+                             "run-cost table")
     args = parser.parse_args(argv)
+
+    configure_logging(args.verbose - args.quiet)
 
     if args.experiment == "list":
         for name, (desc, dur, warm, _) in EXPERIMENTS.items():
-            print(f"  {name:8s} {desc} (default {dur:g}s + {warm:g}s warmup)")
+            traced = " [traceable]" if name in TRACEABLE else ""
+            print(f"  {name:8s} {desc} "
+                  f"(default {dur:g}s + {warm:g}s warmup){traced}")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print("use 'list' to see available ids", file=sys.stderr)
+        log.error("unknown experiment(s): %s", ", ".join(unknown))
+        log.error("use 'list' to see available ids")
+        return 2
+
+    try:
+        telemetry = _telemetry_from_args(args)
+    except ValueError as exc:
+        log.error("%s", exc)
         return 2
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    runner = Runner(jobs=jobs, cache=None if args.no_cache else ResultCache())
+    runner = Runner(jobs=jobs,
+                    cache=None if args.no_cache else ResultCache(),
+                    profile=args.profile)
 
     for name in names:
         desc, default_dur, default_warm, experiment = EXPERIMENTS[name]
         duration = args.duration if args.duration is not None else default_dur
         warmup = args.warmup if args.warmup is not None else default_warm
+        kwargs = {"runner": runner}
+        if telemetry is not None:
+            if name in TRACEABLE:
+                kwargs["telemetry"] = telemetry
+            else:
+                log.warning("%s does not support --trace/--metrics-out yet; "
+                            "running it untraced", name)
         start = time.time()
-        print(f"\n=== {name}: {desc} ===")
-        print(experiment(duration, warmup, args.seed, runner=runner))
-        print(f"[{time.time() - start:.0f}s wall]")
+        log.info("=== %s: %s ===", name, desc)
+        print(experiment(duration, warmup, args.seed, **kwargs))
+        log.info("[%s: %.0fs wall]", name, time.time() - start)
+
+    if telemetry is not None and telemetry.trace_path is not None:
+        log.info("traces written under %s/ "
+                 "(inspect with: repro trace summarize FILE)",
+                 telemetry.trace_path)
+    if args.profile and runner.history:
+        print()
+        print(_run_cost_table(runner.history))
     return 0
 
 

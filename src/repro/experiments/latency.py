@@ -24,6 +24,7 @@ from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import add_pings, tcp_bidir, tcp_download
 from repro.mac.ap import Scheme
 from repro.runner import RunSpec, Runner, execute
+from repro.telemetry import TelemetryConfig
 
 __all__ = ["LatencyResult", "run", "run_scheme", "specs", "format_table",
            "ALL_SCHEMES"]
@@ -39,6 +40,8 @@ class LatencyResult:
     bidirectional: bool
     #: Raw RTT samples (ms) per station.
     rtts_ms: Dict[int, List[float]]
+    #: Telemetry summary of the run (None for untraced runs).
+    telemetry: Optional[Dict] = None
 
     def station_summary(self, station: int) -> Summary:
         return summarize(self.rtts_ms.get(station, []))
@@ -59,8 +62,12 @@ def run_scheme(
     warmup_s: float = 5.0,
     seed: int = 1,
     bidirectional: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> LatencyResult:
-    testbed = Testbed(three_station_rates(), TestbedOptions(scheme=scheme, seed=seed))
+    testbed = Testbed(
+        three_station_rates(),
+        TestbedOptions(scheme=scheme, seed=seed, telemetry=telemetry),
+    )
     if bidirectional:
         tcp_bidir(testbed)
     else:
@@ -71,6 +78,7 @@ def run_scheme(
         scheme=scheme,
         bidirectional=bidirectional,
         rtts_ms={idx: flow.rtts_ms for idx, flow in pings.items()},
+        telemetry=testbed.finish_telemetry(),
     )
 
 
@@ -80,20 +88,24 @@ def specs(
     warmup_s: float = 5.0,
     seed: int = 1,
     bidirectional: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[RunSpec]:
     """One spec per scheme (the runner's unit of parallelism)."""
-    return [
-        RunSpec.make(
-            "repro.experiments.latency:run_scheme",
-            label=f"latency/{scheme.value}",
-            scheme=scheme,
-            duration_s=duration_s,
-            warmup_s=warmup_s,
-            seed=seed,
-            bidirectional=bidirectional,
+    out: List[RunSpec] = []
+    for scheme in schemes:
+        label = f"latency/{scheme.value}"
+        kwargs = dict(
+            scheme=scheme, duration_s=duration_s, warmup_s=warmup_s,
+            seed=seed, bidirectional=bidirectional,
         )
-        for scheme in schemes
-    ]
+        if telemetry is not None:
+            kwargs["telemetry"] = telemetry.for_run(label)
+        out.append(RunSpec.make(
+            "repro.experiments.latency:run_scheme",
+            label=label,
+            **kwargs,
+        ))
+    return out
 
 
 def run(
@@ -103,9 +115,11 @@ def run(
     seed: int = 1,
     bidirectional: bool = False,
     runner: Optional[Runner] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[LatencyResult]:
     return execute(
-        specs(schemes, duration_s, warmup_s, seed, bidirectional), runner
+        specs(schemes, duration_s, warmup_s, seed, bidirectional, telemetry),
+        runner,
     )
 
 

@@ -38,8 +38,11 @@ from repro.experiments import (
 from repro.experiments import paper_data
 from repro.mac.ap import Scheme
 from repro.runner import ResultCache, Runner, default_jobs
+from repro.telemetry import configure_logging, get_logger
 
 __all__ = ["generate_report", "main"]
+
+log = get_logger("repro.report")
 
 
 @dataclass
@@ -375,9 +378,32 @@ SECTIONS: List[Callable[[float, Optional[Runner]], str]] = [
 ]
 
 
+def _run_cost_section(runner: Runner) -> str:
+    """Markdown run-cost table from the runner's history (``--profile``).
+
+    Never emitted by default: its wall times differ run to run, and the
+    CI smoke job diffs serial vs parallel reports line for line.
+    """
+    lines = [
+        "## Run cost (profiled)", "",
+        "| spec | wall s | events | ev/s | peak heap | cached |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for result in runner.history:
+        m = result.metrics
+        heap = f"{m.peak_heap_bytes / 1e6:.1f} MB" if m.peak_heap_bytes else "—"
+        lines.append(
+            f"| {result.spec.label} | {m.wall_s:.2f} | {m.events} "
+            f"| {m.events_per_sec:.0f} | {heap} "
+            f"| {'yes' if m.cached else 'no'} |"
+        )
+    return "\n".join(lines)
+
+
 def generate_report(
     duration_scale: float = 1.0,
     runner: Optional[Runner] = None,
+    include_run_costs: bool = False,
 ) -> str:
     """Run everything and return the full markdown report.
 
@@ -398,8 +424,12 @@ def generate_report(
     ]
     for section in SECTIONS:
         start = time.time()
+        log.info("running %s ...", section.__name__.lstrip("_"))
         parts.append(section(duration_scale, runner))
         parts.append(f"\n*(section wall time: {time.time() - start:.0f}s)*\n")
+    if include_run_costs and runner is not None and runner.history:
+        parts.append(_run_cost_section(runner))
+        parts.append("")
     return "\n".join(parts)
 
 
@@ -414,20 +444,29 @@ def main(argv: list[str] | None = None) -> int:
                              "the CPU count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write .repro-cache/")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-run peak heap and append a "
+                             "run-cost section to the report")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more status output (repeat for debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less status output (warnings only)")
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = None if args.no_cache else ResultCache()
-    runner = Runner(jobs=jobs, cache=cache)
-    report = generate_report(args.duration_scale, runner=runner)
+    runner = Runner(jobs=jobs, cache=cache, profile=args.profile)
+    report = generate_report(args.duration_scale, runner=runner,
+                             include_run_costs=args.profile)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
-        print(f"wrote {args.output}")
+        log.info("wrote %s", args.output)
     else:
         print(report)
     if cache is not None and (cache.hits or cache.misses):
-        print(f"[cache: {cache.hits} hits, {cache.misses} misses "
-              f"under {cache.root}/]")
+        log.info("[cache: %d hits, %d misses under %s/]",
+                 cache.hits, cache.misses, cache.root)
     return 0
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import AirtimeTracker
+from repro.core.packet import reset_packet_counters
 from repro.mac.ap import AccessPoint, APConfig, Scheme
 from repro.mac.medium import Medium
 from repro.mac.station import ClientStation
@@ -19,6 +20,7 @@ from repro.net.wire import DEFAULT_WIRE_DELAY_US, Server, WiredNetwork
 from repro.phy.rates import PhyRate
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
+from repro.telemetry import PeriodicSampler, Telemetry, TelemetryConfig
 
 __all__ = ["Testbed", "TestbedOptions"]
 
@@ -37,6 +39,9 @@ class TestbedOptions:
     station_channels: Optional[dict] = None
     #: Client uplink queueing: 'fq_codel' (Ubuntu 16.04 default) / 'fifo'.
     client_queueing: str = "fq_codel"
+    #: Telemetry (tracing / metrics); ``None`` or an inactive config keeps
+    #: every instrumentation site on its zero-cost path.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 class Testbed:
@@ -44,6 +49,10 @@ class Testbed:
 
     def __init__(self, rates: Sequence[PhyRate], options: TestbedOptions) -> None:
         self.options = options
+        # Packet/flow ids are process-global counters; restart them per
+        # testbed so a run's trace does not depend on what else ran in
+        # this process (serial vs pool-worker execution).
+        reset_packet_counters()
         self.sim = Simulator()
         self.rng = RngFactory(options.seed)
         error_prob_fn = None
@@ -86,6 +95,62 @@ class Testbed:
         #: their ``reset_window`` here).
         self.warmup_resets: List[Callable[[], None]] = []
 
+        # --- telemetry -------------------------------------------------
+        self.telemetry: Optional[Telemetry] = None
+        self.sampler: Optional[PeriodicSampler] = None
+        if options.telemetry is not None and options.telemetry.active:
+            self.telemetry = Telemetry(options.telemetry)
+            self.ap.set_trace(self.telemetry)
+            tx_channel = self.telemetry.channel("tx")
+            if tx_channel is not None:
+                def on_tx(rec, _emit=tx_channel.emit):
+                    _emit(
+                        rec.start_us + rec.airtime_us, "tx",
+                        station=rec.station, airtime_us=rec.airtime_us,
+                        tx_us=rec.tx_time_us, down=rec.downlink,
+                        n_pkts=rec.n_packets, bytes=rec.payload_bytes,
+                        ac=rec.ac.name, ok=rec.success, retries=rec.retries,
+                    )
+                self.medium.add_observer(on_tx)
+            if self.telemetry.metrics is not None:
+                self.sampler = PeriodicSampler(
+                    self.sim, self.telemetry.metrics,
+                    interval_ms=options.telemetry.sample_interval_ms,
+                )
+                self.sampler.add_probe(self._sample_queues)
+                self.sampler.add_probe(self._sample_stations)
+                self.sampler.start()
+
+    # ------------------------------------------------------------------
+    def _sample_queues(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "ap_queued_packets": self.ap.total_queued_packets(),
+            "hw_occupancy": self.ap._hw.occupancy(),
+            "sim_heap_len": self.sim.heap_len,
+        }
+        if self.ap.driver is not None:
+            out["driver_backlog"] = self.ap.driver.backlog
+        return out
+
+    def _sample_stations(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for station, deficit in self.ap.scheduler.deficit_snapshot().items():
+            out[f"sched_deficit_us.{station}"] = deficit
+        for station, airtime in self.tracker.airtime_us.items():
+            out[f"airtime_us.{station}"] = airtime
+        if self.ap.driver is not None:
+            for station, n in self.ap.driver.occupancy_by_station().items():
+                out[f"driver_occupancy.{station}"] = n
+        return out
+
+    def finish_telemetry(self) -> Optional[Dict]:
+        """Stop sampling, flush trace/metrics, return the summary dict."""
+        if self.telemetry is None:
+            return None
+        if self.sampler is not None:
+            self.sampler.stop()
+        return self.telemetry.finish()
+
     # ------------------------------------------------------------------
     def add_warmup_reset(self, reset: Callable[[], None]) -> None:
         self.warmup_resets.append(reset)
@@ -101,6 +166,11 @@ class Testbed:
             self.tracker.reset()
             for reset in self.warmup_resets:
                 reset()
+        if self.telemetry is not None:
+            # Everything after this marker is the measurement window; the
+            # trace summariser windows its airtime table here, exactly
+            # where the AirtimeTracker resets.
+            self.telemetry.mark(self.sim.now, "measurement_start")
         start = self.sim.now
         self.sim.run(until_us=self.sim.sec(warmup_s + duration_s))
         return self.sim.now - start

@@ -21,10 +21,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+from typing import Deque, Dict, Optional, TYPE_CHECKING
 
 from repro.core.airtime import DEFAULT_AIRTIME_QUANTUM_US, AirtimeScheduler
 from repro.core.codel import PerStationCoDelTuner
+from repro.core.drops import DropHook, DropReporter
 from repro.core.mac_fq import MacFqStructure
 from repro.core.packet import AccessCategory, Packet
 from repro.core.station_rr import RoundRobinScheduler
@@ -85,9 +86,6 @@ class APConfig:
     rate_control: bool = False
 
 
-DropHook = Callable[[Packet, str], None]
-
-
 class AccessPoint:
     """The Linux access point under one of the four configurations."""
 
@@ -113,22 +111,30 @@ class AccessPoint:
             enabled=self.config.codel_lowrate_tuning
         )
 
+        #: Unified drop funnel: every layer reports (pkt, layer, reason)
+        #: here; experiment hooks and trace observers attach to it.
+        self.drops = DropReporter()
+
         # --- scheme-specific queueing stack --------------------------
         self.qdisc: Optional[Qdisc] = None
         self.driver: Optional[LegacyDriver] = None
         self.mac_fq: Optional[MacFqStructure] = None
         if self.scheme is Scheme.FIFO:
-            self.qdisc = PfifoQdisc(self.config.txqueuelen, on_drop=self._on_drop)
+            self.qdisc = PfifoQdisc(
+                self.config.txqueuelen, on_drop=self.drops.callback("qdisc")
+            )
             self.driver = LegacyDriver(self.qdisc, self.config.driver_limit)
         elif self.scheme is Scheme.FQ_CODEL:
-            self.qdisc = FqCodelQdisc(lambda: sim.now, on_drop=self._on_drop)
+            self.qdisc = FqCodelQdisc(
+                lambda: sim.now, on_drop=self.drops.callback("qdisc")
+            )
             self.driver = LegacyDriver(self.qdisc, self.config.driver_limit)
         else:
             self.mac_fq = MacFqStructure(
                 lambda: sim.now,
                 limit=self.config.mac_fq_limit,
                 codel_tuner=self.codel_tuner,
-                on_drop=self._on_drop,
+                on_drop=self.drops.callback("mac"),
             )
 
         # --- station scheduler (BE/BK/VI) ------------------------------
@@ -154,9 +160,12 @@ class AccessPoint:
         self._vo_ring: Deque[int] = deque()
         self._vo_queues: Dict[int, Deque[Packet]] = {}
 
-        self.drop_hooks: List[DropHook] = []
         #: Packets lost because an aggregate exhausted its retries.
         self.retry_drop_packets = 0
+
+        # Telemetry (None when disabled; see set_trace).
+        self._telemetry = None
+        self._tr_agg = None
 
         #: Per-station Minstrel controllers (rate-control extension).
         self._rate_controllers: Dict[int, object] = {}
@@ -199,11 +208,48 @@ class AccessPoint:
     # Drop reporting
     # ------------------------------------------------------------------
     def add_drop_hook(self, hook: DropHook) -> None:
-        self.drop_hooks.append(hook)
+        """Attach a legacy ``hook(pkt, reason)`` drop consumer."""
+        self.drops.add_hook(hook)
 
-    def _on_drop(self, pkt: Packet, reason: str) -> None:
-        for hook in self.drop_hooks:
-            hook(pkt, reason)
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def set_trace(self, telemetry) -> None:
+        """Attach a :class:`repro.telemetry.Telemetry` context to the AP.
+
+        Fans the trace bus and metrics registry out to every component of
+        the scheme's stack; with ``telemetry=None`` (or both halves
+        disabled) everything stays on its zero-cost path.
+        """
+        self._telemetry = telemetry
+        trace = telemetry.trace if telemetry is not None else None
+        metrics = telemetry.metrics if telemetry is not None else None
+        now_fn = lambda: self.sim.now
+
+        self._tr_agg = trace.channel("agg") if trace is not None else None
+        if self.qdisc is not None:
+            self.qdisc.set_trace(trace, now_fn=now_fn, metrics=metrics)
+        if self.driver is not None:
+            self.driver.set_trace(trace, now_fn=now_fn)
+        if self.mac_fq is not None:
+            self.mac_fq.set_trace(trace, metrics=metrics, layer="mac")
+        self.scheduler.set_trace(trace, now_fn=now_fn)
+        self._hw.set_trace(trace, now_fn=now_fn)
+        if trace is not None:
+            queue_channel = trace.channel("queue")
+            if queue_channel is not None:
+                def on_drop(pkt: Packet, layer: str, reason: str) -> None:
+                    station = (pkt.dst_station if pkt.dst_station is not None
+                               else pkt.src_station)
+                    queue_channel.emit(
+                        self.sim.now, "drop", layer=layer, reason=reason,
+                        station=station, flow=pkt.flow_id,
+                    )
+                self.drops.add_observer(on_drop)
+        if metrics is not None:
+            def count_drop(pkt: Packet, layer: str, reason: str) -> None:
+                metrics.counter(f"drops_{layer}_{reason}").inc()
+            self.drops.add_observer(count_drop)
 
     # ------------------------------------------------------------------
     # Downstream entry (from the wired network)
@@ -303,6 +349,12 @@ class AccessPoint:
         )
         if agg is None:
             return 0
+        if self._tr_agg is not None:
+            self._tr_agg.emit(
+                self.sim.now, "built", station=station, ac=ac.name,
+                n_pkts=agg.n_packets, bytes=agg.payload_bytes,
+                airtime_us=agg.duration_us,
+            )
         self._hw.push(agg)
         if self.driver is not None:
             for woken in self.driver.pull():
@@ -362,13 +414,19 @@ class AccessPoint:
             self.codel_tuner.update_rate(
                 agg.station, controller.best_rate().bps, self.sim.now
             )
+        if self._tr_agg is not None:
+            self._tr_agg.emit(
+                self.sim.now, "tx_done", station=agg.station,
+                ac=agg.ac.name, n_pkts=agg.n_packets, ok=success,
+                retries=agg.retries,
+            )
         if success:
             self.stations[agg.station].receive_from_ap(agg)
         else:
             if not self._hw.requeue_retry(agg):
                 self.retry_drop_packets += agg.n_packets
                 for pkt in agg.packets:
-                    self._on_drop(pkt, "retry")
+                    self.drops.report(pkt, "hw", "retry")
         if self._station_has_backlog(agg.station):
             self.scheduler.wake(agg.station)
         self._fill_hw()

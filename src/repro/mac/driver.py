@@ -45,6 +45,16 @@ class LegacyDriver:
         self._queues: Dict[Tuple[int, AccessCategory], Deque[Packet]] = {}
         self.backlog = 0
 
+        # Telemetry (None when disabled).
+        self._tr_driver = None
+        self._now = None
+
+    # ------------------------------------------------------------------
+    def set_trace(self, trace, now_fn=None) -> None:
+        """Attach a trace bus; ``now_fn`` supplies emit timestamps."""
+        self._tr_driver = trace.channel("driver") if trace is not None else None
+        self._now = now_fn
+
     # ------------------------------------------------------------------
     def pull(self) -> List[int]:
         """Pull frames from the qdisc while there is room.
@@ -53,6 +63,7 @@ class LegacyDriver:
         them in the scheduler.
         """
         woken: List[int] = []
+        pulled = 0
         while self.backlog < self.limit:
             pkt = self.qdisc.dequeue()
             if pkt is None:
@@ -65,8 +76,14 @@ class LegacyDriver:
                 self._queues[key] = queue
             queue.append(pkt)
             self.backlog += 1
+            pulled += 1
             if pkt.dst_station not in woken:
                 woken.append(pkt.dst_station)
+        if pulled and self._tr_driver is not None:
+            self._tr_driver.emit(
+                self._now() if self._now is not None else 0.0, "pull",
+                pulled=pulled, backlog=self.backlog,
+            )
         return woken
 
     def dequeue(self, station: int, ac: AccessCategory) -> Optional[Packet]:

@@ -40,6 +40,20 @@ class HardwareQueue:
         #: Aggregates dropped after exceeding the retry limit.
         self.retry_drops = 0
 
+        # Telemetry (None when disabled).
+        self._tr_hw = None
+        self._now = None
+
+    # ------------------------------------------------------------------
+    def set_trace(self, trace, now_fn=None) -> None:
+        """Attach a trace bus; ``now_fn`` supplies emit timestamps."""
+        self._tr_hw = trace.channel("hw") if trace is not None else None
+        self._now = now_fn
+
+    def occupancy(self) -> int:
+        """Aggregates currently queued across all ACs (sampler probe)."""
+        return sum(len(q) for q in self._queues.values())
+
     # ------------------------------------------------------------------
     def full(self, ac: AccessCategory) -> bool:
         return len(self._queues[ac]) >= self.depth
@@ -48,6 +62,12 @@ class HardwareQueue:
         if self.full(agg.ac):
             raise RuntimeError(f"hardware queue {agg.ac.name} is full")
         self._queues[agg.ac].append(agg)
+        if self._tr_hw is not None:
+            self._tr_hw.emit(
+                self._now() if self._now is not None else 0.0, "push",
+                ac=agg.ac.name, station=agg.station,
+                n_pkts=len(agg.packets), depth=len(self._queues[agg.ac]),
+            )
 
     def requeue_retry(self, agg: Aggregate) -> bool:
         """Re-insert a failed aggregate at the head (the retry queue).
@@ -73,7 +93,14 @@ class HardwareQueue:
         ):
             queue = self._queues[ac]
             if queue:
-                return queue.popleft()
+                agg = queue.popleft()
+                if self._tr_hw is not None:
+                    self._tr_hw.emit(
+                        self._now() if self._now is not None else 0.0, "pop",
+                        ac=ac.name, station=agg.station,
+                        depth=len(queue),
+                    )
+                return agg
         return None
 
     def head_ac(self) -> Optional[AccessCategory]:

@@ -94,6 +94,10 @@ class ClientStation:
 
     def _on_uplink_drop(self, pkt: Packet, reason: str) -> None:
         self.uplink_drops += 1
+        # Client drops join the AP's unified funnel (layer 'client') so
+        # one place answers "where did my packets go?" for the whole BSS.
+        if self.ap is not None:
+            self.ap.drops.report(pkt, "client", reason)
 
     # ------------------------------------------------------------------
     # Uplink (client -> AP)

@@ -30,6 +30,20 @@ class Qdisc(abc.ABC):
         self.backlog_packets = 0
         self.drops = 0
 
+        # Telemetry (None when disabled).
+        self._tr_queue = None
+        self._trace_now: Callable[[], float] = lambda: 0.0
+        self._sojourn_hist = None
+
+    def set_trace(self, trace, now_fn: Optional[Callable[[], float]] = None,
+                  metrics=None) -> None:
+        """Attach a trace bus; emitted records carry ``layer='qdisc'``."""
+        self._tr_queue = trace.channel("queue") if trace is not None else None
+        if now_fn is not None:
+            self._trace_now = now_fn
+        if metrics is not None:
+            self._sojourn_hist = metrics.histogram("qdisc_sojourn_us")
+
     @abc.abstractmethod
     def enqueue(self, pkt: Packet) -> bool:
         """Queue ``pkt``; returns False if it was dropped instead."""
@@ -42,6 +56,8 @@ class Qdisc(abc.ABC):
         return self.backlog_packets > 0
 
     def _drop(self, pkt: Packet, reason: str) -> None:
+        # Drop *records* are emitted by the unified DropReporter funnel
+        # (repro.core.drops), not here — on_drop chains up to it.
         self.drops += 1
         if self.on_drop is not None:
             self.on_drop(pkt, reason)

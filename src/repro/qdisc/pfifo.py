@@ -40,10 +40,26 @@ class PfifoQdisc(Qdisc):
             return False
         self._pkts.append(pkt)
         self.backlog_packets += 1
+        if self._tr_queue is not None:
+            self._tr_queue.emit(
+                self._trace_now(), "enqueue", layer="qdisc",
+                station=pkt.dst_station, flow=pkt.flow_id,
+                backlog=self.backlog_packets,
+            )
         return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._pkts:
             return None
         self.backlog_packets -= 1
-        return self._pkts.popleft()
+        pkt = self._pkts.popleft()
+        if self._tr_queue is not None or self._sojourn_hist is not None:
+            now = self._trace_now()
+            if self._tr_queue is not None:
+                self._tr_queue.emit(
+                    now, "dequeue", layer="qdisc", station=pkt.dst_station,
+                    sojourn_us=now - pkt.enqueue_us,
+                )
+            if self._sojourn_hist is not None:
+                self._sojourn_hist.observe(now - pkt.enqueue_us)
+        return pkt

@@ -53,6 +53,9 @@ class RunMetrics:
     wall_s: float
     events: int
     cached: bool = False
+    #: Peak heap during the run (bytes, via tracemalloc); 0 when the
+    #: runner was not profiling.
+    peak_heap_bytes: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -68,14 +71,24 @@ class RunResult:
     metrics: RunMetrics
 
 
-def _execute_spec(spec: RunSpec) -> Tuple[Any, RunMetrics]:
-    """Run one spec in this process, measuring wall time and events."""
-    events_before = events_processed_total()
-    start = time.perf_counter()
-    value = spec.call()
-    wall = time.perf_counter() - start
-    events = events_processed_total() - events_before
-    return value, RunMetrics(wall_s=wall, events=events)
+def _execute_spec(
+    spec: RunSpec, profile: bool = False
+) -> Tuple[Any, RunMetrics]:
+    """Run one spec in this process, measuring wall time and events.
+
+    With ``profile=True`` the run also records its peak heap (via
+    :class:`repro.telemetry.profiling.RunProfiler` / tracemalloc), at the
+    cost of slower allocation — so profiling is opt-in per runner.
+    """
+    from repro.telemetry.profiling import RunProfiler
+
+    with RunProfiler(track_heap=profile) as profiler:
+        value = spec.call()
+    return value, RunMetrics(
+        wall_s=profiler.wall_s,
+        events=profiler.events,
+        peak_heap_bytes=profiler.peak_heap_bytes or 0,
+    )
 
 
 @dataclass
@@ -93,8 +106,13 @@ class Runner:
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
+    #: Track per-run peak heap via tracemalloc (slower; opt-in).
+    profile: bool = False
     #: Set after each map(): True when the last batch used the pool.
     used_pool: bool = field(default=False, init=False)
+    #: Every RunResult produced by this runner, across all map() calls —
+    #: the raw material for run-cost reporting.
+    history: List[RunResult] = field(default_factory=list, init=False)
 
     def __post_init__(self) -> None:
         if self.jobs is None:
@@ -117,6 +135,7 @@ class Runner:
                         wall_s=getattr(stored, "wall_s", 0.0),
                         events=getattr(stored, "events", 0),
                         cached=True,
+                        peak_heap_bytes=getattr(stored, "peak_heap_bytes", 0),
                     )
                     results[index] = RunResult(spec, payload["value"], metrics)
                     continue
@@ -128,6 +147,7 @@ class Runner:
             if self.cache is not None:
                 self.cache.put(spec, value, metrics)
             results[index] = RunResult(spec, value, metrics)
+        self.history.extend(results)  # type: ignore[arg-type]
         return results  # type: ignore[return-value]
 
     def run_values(self, specs: Iterable[RunSpec]) -> List[Any]:
@@ -148,7 +168,7 @@ class Runner:
                 # Pools need working fork/spawn + shared semaphores; fall
                 # back to in-process execution rather than failing the run.
                 self.used_pool = False
-        return [_execute_spec(spec) for spec in specs]
+        return [_execute_spec(spec, self.profile) for spec in specs]
 
     def _execute_pool(
         self, specs: Sequence[RunSpec]
@@ -157,7 +177,10 @@ class Runner:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Submission order == collection order: determinism does not
             # depend on which worker finishes first.
-            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            futures = [
+                pool.submit(_execute_spec, spec, self.profile)
+                for spec in specs
+            ]
             outputs = [future.result() for future in futures]
         self.used_pool = True
         return outputs

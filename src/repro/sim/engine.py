@@ -102,6 +102,9 @@ class Simulator:
         self._cancelled = 0
         #: Events executed by this simulator (cancelled pops excluded).
         self.events_processed = 0
+        #: Lazy heap compactions performed (telemetry: how often the
+        #: cancel-heavy workload actually pays the rebuild cost).
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -163,6 +166,7 @@ class Simulator:
         queue[:] = [event for event in queue if not event.cancelled]
         heapq.heapify(queue)
         self._cancelled = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -225,6 +229,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (scheduled and not cancelled) events."""
         return self._pending
+
+    @property
+    def heap_len(self) -> int:
+        """Heap entries including dead ones (telemetry: compaction debt)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # Convenience conversions

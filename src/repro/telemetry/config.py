@@ -1,0 +1,119 @@
+"""Telemetry configuration — the cache-relevant description of observability.
+
+:class:`TelemetryConfig` is a frozen dataclass so it can ride inside a
+:class:`~repro.runner.spec.RunSpec`'s kwargs: the runner canonicalises
+dataclasses into the cache digest, which means *enabling telemetry (or
+changing any telemetry knob) yields a different cache key* than the same
+run without it.  A traced run can therefore never be satisfied from an
+untraced run's cache entry, and vice versa.
+
+The config is pure data; the live objects (trace bus, metrics registry,
+sampler) are built from it by :class:`repro.telemetry.Telemetry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["TelemetryConfig", "TRACE_CATEGORIES"]
+
+#: Every trace category the instrumentation emits.
+#:
+#: ``queue``   enqueue / dequeue / drop (qdisc and MAC layers) + flow-queue
+#:             lifecycle (assignment, recycling)
+#: ``codel``   CoDel state-machine transitions (enter/exit dropping state)
+#: ``agg``     aggregate built / TX complete
+#: ``sched``   airtime-scheduler deficit charges and (sparse) station entry
+#: ``hw``      hardware-queue push/pop
+#: ``driver``  legacy-driver pulls from the qdisc
+#: ``tx``      one record per completed transmission on the medium
+#: ``meta``    markers (measurement-window start); never filtered out
+TRACE_CATEGORIES = (
+    "queue", "codel", "agg", "sched", "hw", "driver", "tx", "meta",
+)
+
+_LABEL_SANITISE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to observe and where to write it.
+
+    Parameters
+    ----------
+    trace:
+        Enable the trace bus even without an output file (records are
+        kept in memory; useful for tests and for in-process summaries).
+    trace_path:
+        JSONL output file for trace records.  Setting it implies
+        ``trace``.  In :meth:`for_run` fan-outs this is a *directory*.
+    categories:
+        Trace categories to record; empty means all of
+        :data:`TRACE_CATEGORIES`.
+    metrics:
+        Enable the metrics registry + periodic sampler without an
+        output file.
+    metrics_path:
+        JSON output file for the metrics snapshot and time series.
+        Setting it implies ``metrics``; a directory in fan-outs.
+    sample_interval_ms:
+        Periodic sampler interval (simulated milliseconds).
+    """
+
+    trace: bool = False
+    trace_path: Optional[str] = None
+    categories: Tuple[str, ...] = ()
+    metrics: bool = False
+    metrics_path: Optional[str] = None
+    sample_interval_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        unknown = [c for c in self.categories if c not in TRACE_CATEGORIES]
+        if unknown:
+            raise ValueError(
+                f"unknown trace categories {unknown!r}; "
+                f"valid: {', '.join(TRACE_CATEGORIES)}"
+            )
+        if self.sample_interval_ms <= 0:
+            raise ValueError("sample_interval_ms must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        return self.trace or self.trace_path is not None
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return self.metrics or self.metrics_path is not None
+
+    @property
+    def active(self) -> bool:
+        return self.trace_enabled or self.metrics_enabled
+
+    # ------------------------------------------------------------------
+    def for_run(self, label: str) -> "TelemetryConfig":
+        """Derive the per-run config for one spec of a fan-out.
+
+        ``trace_path`` / ``metrics_path`` on the *base* config are treated
+        as directories; the derived config points at
+        ``<dir>/<label>.trace.jsonl`` and ``<dir>/<label>.metrics.json``
+        (with the label sanitised for the filesystem), so every spec in a
+        sweep writes its own files and the paths participate in each
+        spec's cache digest.
+        """
+        safe = _LABEL_SANITISE.sub("_", label) or "run"
+        return dataclasses.replace(
+            self,
+            trace_path=(
+                str(Path(self.trace_path) / f"{safe}.trace.jsonl")
+                if self.trace_path is not None else None
+            ),
+            metrics_path=(
+                str(Path(self.metrics_path) / f"{safe}.metrics.json")
+                if self.metrics_path is not None else None
+            ),
+        )

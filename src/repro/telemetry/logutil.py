@@ -1,0 +1,50 @@
+"""Logging setup shared by the repository's CLIs.
+
+Progress and status messages go through the ``repro`` logger to stderr —
+experiment *results* (tables, reports) stay on stdout, so piping a CLI's
+output captures the data and nothing else.  ``-v``/``-q`` map onto the
+``verbosity`` argument: -1 (quiet, warnings only), 0 (default, progress),
+1+ (debug).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "get_logger"]
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str = _LOGGER_NAME) -> logging.Logger:
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use.
+
+    Idempotent: reconfiguring replaces the previous handler, so tests can
+    call CLI mains repeatedly without stacking handlers.
+    """
+    if verbosity <= -2:
+        level = logging.ERROR
+    elif verbosity == -1:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+
+    logger = logging.getLogger(_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,62 @@
+"""Per-run profiling: wall time, events executed, peak heap.
+
+:class:`RunProfiler` wraps one simulation run (the runner uses it around
+every :class:`~repro.runner.spec.RunSpec` execution).  Wall time and the
+engine's event counter are always collected — they are nearly free.  Peak
+heap tracking uses :mod:`tracemalloc` and costs real time (allocation
+hooks on every object), so it is opt-in via ``track_heap``; the runner
+exposes it as ``Runner(profile=True)`` / ``--profile``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Optional
+
+from repro.sim.engine import events_processed_total
+
+__all__ = ["RunProfiler"]
+
+
+class RunProfiler:
+    """Context manager measuring one run's cost.
+
+    After the ``with`` block: ``wall_s``, ``events``, ``events_per_sec``
+    and (when ``track_heap``) ``peak_heap_bytes`` are populated.
+    """
+
+    def __init__(self, track_heap: bool = False) -> None:
+        self.track_heap = track_heap
+        self.wall_s = 0.0
+        self.events = 0
+        self.peak_heap_bytes: Optional[int] = None
+        self._events_before = 0
+        self._start = 0.0
+        self._started_tracing = False
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "RunProfiler":
+        if self.track_heap:
+            if tracemalloc.is_tracing():
+                # Someone outside is already tracing; measure our own
+                # peak without stopping them on exit.
+                tracemalloc.reset_peak()
+            else:
+                tracemalloc.start()
+                self._started_tracing = True
+        self._events_before = events_processed_total()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_s = time.perf_counter() - self._start
+        self.events = events_processed_total() - self._events_before
+        if self.track_heap:
+            self.peak_heap_bytes = tracemalloc.get_traced_memory()[1]
+            if self._started_tracing:
+                tracemalloc.stop()

@@ -1,0 +1,280 @@
+"""Turn a JSONL trace into per-station / per-queue summary tables.
+
+This is the analysis half of the trace bus: given the records one traced
+run emitted (from a file or in memory), compute
+
+* per-station transmission totals — airtime, share of the summed
+  airtime, delivered payload, mean aggregation — windowed to the
+  measurement period (records after the last ``measurement_start``
+  marker), exactly as the experiments' own
+  :class:`~repro.analysis.stats.AirtimeTracker` windows its accounting,
+  so the two agree to float precision;
+* drop accounting by layer and reason (the unified drop funnel);
+* per-layer queue activity (enqueues/dequeues, mean sojourn);
+* CoDel state transitions and scheduler deficit charges per station.
+
+Exposed on the CLI as ``repro trace summarize FILE...`` (or
+``python -m repro.experiments.cli trace summarize``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.telemetry.trace import load_trace
+
+__all__ = ["TraceSummary", "summarize_records", "summarize_file",
+           "format_summary"]
+
+
+@dataclass
+class _StationTx:
+    """Per-station transmission totals within the measurement window."""
+
+    transmissions: int = 0
+    airtime_us: float = 0.0
+    downlink_airtime_us: float = 0.0
+    uplink_airtime_us: float = 0.0
+    payload_bytes: int = 0
+    packets: int = 0
+    downlink_aggs: int = 0
+    downlink_agg_packets: int = 0
+
+    @property
+    def mean_aggregation(self) -> float:
+        if self.downlink_aggs == 0:
+            return 0.0
+        return self.downlink_agg_packets / self.downlink_aggs
+
+
+@dataclass
+class _LayerQueue:
+    """Per-(layer, station) queue activity over the whole trace."""
+
+    enqueues: int = 0
+    dequeues: int = 0
+    drops: int = 0
+    sojourn_total_us: float = 0.0
+    sojourn_max_us: float = 0.0
+
+    @property
+    def mean_sojourn_us(self) -> float:
+        return self.sojourn_total_us / self.dequeues if self.dequeues else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` prints, as plain data."""
+
+    total_records: int = 0
+    t_first_us: Optional[float] = None
+    t_last_us: Optional[float] = None
+    measurement_start_us: Optional[float] = None
+    by_category: Dict[str, int] = field(default_factory=dict)
+    #: Station -> transmission totals (measurement window only).
+    stations: Dict[int, _StationTx] = field(default_factory=dict)
+    #: (layer, reason) -> drop count (whole trace).
+    drops: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: (layer, station) -> queue activity (whole trace).
+    queues: Dict[Tuple[str, Any], _LayerQueue] = field(default_factory=dict)
+    #: Station -> CoDel enter/exit-drop transition count.
+    codel_transitions: Dict[Any, int] = field(default_factory=dict)
+    #: Station -> total airtime charged to its deficit (µs), by direction.
+    deficit_charged_us: Dict[Tuple[int, str], float] = field(default_factory=dict)
+    #: Station -> times it (re)entered the scheduler, by list.
+    scheduler_entries: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def airtime_shares(self) -> Dict[int, float]:
+        """Fraction of summed airtime per station (measurement window)."""
+        total = sum(s.airtime_us for s in self.stations.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.stations}
+        return {k: s.airtime_us / total for k, s in self.stations.items()}
+
+
+def summarize_records(records: List[Mapping[str, Any]]) -> TraceSummary:
+    """Aggregate a record list (in emission order) into a summary."""
+    summary = TraceSummary(total_records=len(records))
+    if records:
+        summary.t_first_us = records[0]["t"]
+        summary.t_last_us = records[-1]["t"]
+
+    # The airtime table is windowed to the measurement period: records
+    # after the *last* measurement_start marker.  Index-based (not
+    # time-based) so records at exactly the marker timestamp that were
+    # emitted before the warm-up reset stay excluded.
+    meas_index = -1
+    for index, record in enumerate(records):
+        if record["cat"] == "meta" and record["ev"] == "measurement_start":
+            meas_index = index
+            summary.measurement_start_us = record["t"]
+
+    by_cat: Dict[str, int] = defaultdict(int)
+    for index, record in enumerate(records):
+        cat = record["cat"]
+        ev = record["ev"]
+        by_cat[cat] += 1
+
+        if cat == "tx" and index > meas_index:
+            station = record["station"]
+            tx = summary.stations.get(station)
+            if tx is None:
+                tx = summary.stations[station] = _StationTx()
+            tx.transmissions += 1
+            tx.airtime_us += record["airtime_us"]
+            tx.packets += record["n_pkts"]
+            if record["down"]:
+                tx.downlink_airtime_us += record["airtime_us"]
+                tx.downlink_aggs += 1
+                tx.downlink_agg_packets += record["n_pkts"]
+                if record["ok"]:
+                    tx.payload_bytes += record["bytes"]
+            else:
+                tx.uplink_airtime_us += record["airtime_us"]
+
+        elif cat == "queue":
+            layer = record.get("layer", "?")
+            station = record.get("station")
+            key = (layer, station)
+            queue = summary.queues.get(key)
+            if queue is None:
+                queue = summary.queues[key] = _LayerQueue()
+            if ev == "enqueue":
+                queue.enqueues += 1
+            elif ev == "dequeue":
+                queue.dequeues += 1
+                sojourn = record.get("sojourn_us", 0.0)
+                queue.sojourn_total_us += sojourn
+                if sojourn > queue.sojourn_max_us:
+                    queue.sojourn_max_us = sojourn
+            elif ev == "drop":
+                queue.drops += 1
+                drop_key = (layer, record.get("reason", "?"))
+                summary.drops[drop_key] = summary.drops.get(drop_key, 0) + 1
+
+        elif cat == "codel" and ev == "state":
+            station = record.get("station")
+            summary.codel_transitions[station] = (
+                summary.codel_transitions.get(station, 0) + 1
+            )
+
+        elif cat == "sched":
+            if ev == "deficit_charge":
+                key = (record["station"], record["dir"])
+                summary.deficit_charged_us[key] = (
+                    summary.deficit_charged_us.get(key, 0.0) + record["us"]
+                )
+            elif ev == "station_enter":
+                key = (record["station"], record["list"])
+                summary.scheduler_entries[key] = (
+                    summary.scheduler_entries.get(key, 0) + 1
+                )
+
+    summary.by_category = dict(sorted(by_cat.items()))
+    return summary
+
+
+def summarize_file(path: str) -> TraceSummary:
+    return summarize_records(load_trace(path))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _station_label(station: Any) -> str:
+    return "-" if station is None else str(station)
+
+
+def format_summary(summary: TraceSummary, title: str = "") -> str:
+    """Render the summary as the text tables the CLI prints."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"# {title}")
+    span = ""
+    if summary.t_first_us is not None:
+        span = (f", {summary.t_first_us / 1e6:.3f}s – "
+                f"{summary.t_last_us / 1e6:.3f}s")
+    lines.append(f"{summary.total_records} records{span}")
+    if summary.by_category:
+        lines.append("categories: " + ", ".join(
+            f"{cat}={count}" for cat, count in summary.by_category.items()
+        ))
+
+    if summary.stations:
+        window = ("measurement window"
+                  if summary.measurement_start_us is not None
+                  else "whole trace")
+        lines.append("")
+        lines.append(f"Per-station transmissions ({window}):")
+        lines.append(
+            f"{'station':>8} {'tx':>7} {'airtime_ms':>11} {'share':>7} "
+            f"{'down_ms':>9} {'up_ms':>9} {'bytes':>12} {'mean_agg':>9}"
+        )
+        shares = summary.airtime_shares()
+        for station in sorted(summary.stations):
+            tx = summary.stations[station]
+            lines.append(
+                f"{station:>8} {tx.transmissions:>7} "
+                f"{tx.airtime_us / 1e3:>11.2f} {shares[station]:>7.1%} "
+                f"{tx.downlink_airtime_us / 1e3:>9.2f} "
+                f"{tx.uplink_airtime_us / 1e3:>9.2f} "
+                f"{tx.payload_bytes:>12} {tx.mean_aggregation:>9.1f}"
+            )
+
+    if summary.queues:
+        lines.append("")
+        lines.append("Per-layer queue activity (whole trace):")
+        lines.append(
+            f"{'layer':>8} {'station':>8} {'enq':>9} {'deq':>9} "
+            f"{'drops':>7} {'mean_sojourn_ms':>16} {'max_ms':>8}"
+        )
+        for (layer, station) in sorted(
+            summary.queues, key=lambda k: (k[0], str(k[1]))
+        ):
+            queue = summary.queues[(layer, station)]
+            lines.append(
+                f"{layer:>8} {_station_label(station):>8} "
+                f"{queue.enqueues:>9} {queue.dequeues:>9} {queue.drops:>7} "
+                f"{queue.mean_sojourn_us / 1e3:>16.2f} "
+                f"{queue.sojourn_max_us / 1e3:>8.2f}"
+            )
+
+    if summary.drops:
+        lines.append("")
+        lines.append("Drops by layer and reason:")
+        for (layer, reason), count in sorted(summary.drops.items()):
+            lines.append(f"  {layer:>8} {reason:<12} {count}")
+
+    if summary.codel_transitions:
+        lines.append("")
+        lines.append("CoDel state transitions (enter+exit dropping):")
+        for station in sorted(summary.codel_transitions,
+                              key=_station_label):
+            lines.append(f"  station {_station_label(station):>4} "
+                         f"{summary.codel_transitions[station]}")
+
+    if summary.deficit_charged_us:
+        lines.append("")
+        lines.append("Airtime charged to scheduler deficits (ms):")
+        stations = sorted({s for s, _ in summary.deficit_charged_us})
+        for station in stations:
+            tx_us = summary.deficit_charged_us.get((station, "tx"), 0.0)
+            rx_us = summary.deficit_charged_us.get((station, "rx"), 0.0)
+            lines.append(
+                f"  station {station:>4} tx {tx_us / 1e3:>10.2f} "
+                f"rx {rx_us / 1e3:>10.2f}"
+            )
+
+    if summary.scheduler_entries:
+        new = sum(v for (s, lst), v in summary.scheduler_entries.items()
+                  if lst == "new")
+        old = sum(v for (s, lst), v in summary.scheduler_entries.items()
+                  if lst == "old")
+        lines.append("")
+        lines.append(f"Scheduler entries: {new} via new_stations (sparse), "
+                     f"{old} direct to old_stations")
+
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Structured event tracing: typed, timestamped records on a shared bus.
+
+Design goals, in order:
+
+1. **Zero cost when disabled.**  Instrumented components hold an
+   ``Optional[TraceChannel]`` per category; with tracing off (or the
+   category filtered) the attribute is ``None`` and every site reduces to
+   one ``is not None`` test.  No strings are formatted, no dicts built.
+2. **Deterministic output.**  Records are appended in event-execution
+   order, carry the simulated timestamp, and serialise with a stable key
+   order — so a traced run replays bit-identically for a fixed seed,
+   whether it executes in-process or in a worker (see
+   ``tests/test_trace_determinism.py``).
+3. **Greppable JSONL.**  One JSON object per line:
+   ``{"t": <µs>, "cat": <category>, "ev": <event>, ...fields}``.
+
+The category vocabulary lives in
+:data:`repro.telemetry.config.TRACE_CATEGORIES`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["TraceBus", "TraceChannel", "load_trace"]
+
+
+class TraceChannel:
+    """A category-bound emitter handed to one instrumentation site.
+
+    Channels are cheap cursors over the bus's record list; components
+    cache them once (``self._tr_queue = bus.channel("queue")``) so the
+    per-event cost is a single method call.
+    """
+
+    __slots__ = ("_records", "category")
+
+    def __init__(self, records: List[Dict[str, Any]], category: str) -> None:
+        self._records = records
+        self.category = category
+
+    def emit(self, t_us: float, event: str, **fields: Any) -> None:
+        """Append one record at simulated time ``t_us``."""
+        record: Dict[str, Any] = {"t": t_us, "cat": self.category, "ev": event}
+        if fields:
+            record.update(fields)
+        self._records.append(record)
+
+
+class TraceBus:
+    """Collects trace records from every instrumented layer of one run.
+
+    ``categories`` filters what gets recorded: an empty sequence means
+    *everything*.  ``channel()`` returns ``None`` for filtered categories,
+    which is what makes per-category filtering free at the emission site.
+    The ``meta`` category (markers such as the measurement-window start)
+    is never filtered — summaries need it to window their tables.
+    """
+
+    __slots__ = ("_records", "_filter")
+
+    def __init__(self, categories: Sequence[str] = ()) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._filter = frozenset(categories) if categories else None
+
+    # ------------------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        return (
+            category == "meta"
+            or self._filter is None
+            or category in self._filter
+        )
+
+    def channel(self, category: str) -> Optional[TraceChannel]:
+        """An emitter for ``category``, or ``None`` when filtered out."""
+        if not self.wants(category):
+            return None
+        return TraceChannel(self._records, category)
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def dumps(self) -> str:
+        """The full trace as JSONL text (deterministic key order)."""
+        return "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for record in self._records
+        )
+
+    def write_jsonl(self, path: str) -> Path:
+        """Write the trace to ``path``, creating parent directories."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.dumps())
+        return target
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into a list of records."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -55,6 +55,29 @@ class TestRunSpec:
         spec = RunSpec.make("m:f", x=1)
         assert spec.digest("1.0.0") != spec.digest("1.0.1")
 
+    def test_telemetry_config_changes_digest(self):
+        """Cache-key hygiene: a traced run must never be satisfied from an
+        untraced run's cache entry (or vice versa), and changing any
+        telemetry knob must change the key too."""
+        from repro.telemetry import TelemetryConfig
+
+        untraced = RunSpec.make("m:f", scheme=Scheme.FIFO, seed=1)
+        traced = RunSpec.make("m:f", scheme=Scheme.FIFO, seed=1,
+                              telemetry=TelemetryConfig(trace=True))
+        assert untraced.digest() != traced.digest()
+
+        filtered = RunSpec.make(
+            "m:f", scheme=Scheme.FIFO, seed=1,
+            telemetry=TelemetryConfig(trace=True, categories=("tx",)),
+        )
+        assert traced.digest() != filtered.digest()
+
+        with_metrics = RunSpec.make(
+            "m:f", scheme=Scheme.FIFO, seed=1,
+            telemetry=TelemetryConfig(trace=True, metrics=True),
+        )
+        assert traced.digest() != with_metrics.digest()
+
     def test_label_does_not_affect_digest_or_equality(self):
         a = RunSpec.make("m:f", label="a", x=1)
         b = RunSpec.make("m:f", label="b", x=1)

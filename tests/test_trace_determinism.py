@@ -1,0 +1,94 @@
+"""Trace determinism: identical traces serial vs parallel, fresh vs cached.
+
+The runner's contract is that ``jobs=N`` output is bit-identical to
+``jobs=1``; telemetry must not weaken it.  Trace records include
+process-global packet/flow ids, so the testbed restarts those counters
+per run — these tests are the regression net for that.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import airtime_udp
+from repro.mac.ap import Scheme
+from repro.runner import ResultCache, Runner
+from repro.telemetry import TelemetryConfig
+
+SCHEMES = (Scheme.FIFO, Scheme.AIRTIME)
+
+
+def _specs(out_dir: Path):
+    telemetry = TelemetryConfig(trace_path=str(out_dir),
+                                metrics_path=str(out_dir))
+    return airtime_udp.specs(SCHEMES, duration_s=0.6, warmup_s=0.3,
+                             telemetry=telemetry)
+
+
+def _trace_texts(out_dir: Path) -> dict:
+    return {
+        path.name: path.read_text()
+        for path in sorted(out_dir.glob("*.trace.jsonl"))
+    }
+
+
+def test_serial_and_parallel_traces_identical(tmp_path):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+
+    serial = Runner(jobs=1, cache=None).run_values(_specs(serial_dir))
+    parallel = Runner(jobs=2, cache=None).run_values(_specs(parallel_dir))
+
+    serial_traces = _trace_texts(serial_dir)
+    parallel_traces = _trace_texts(parallel_dir)
+    assert serial_traces  # the runs actually traced something
+    assert set(serial_traces) == set(parallel_traces)
+    for name in serial_traces:
+        assert serial_traces[name] == parallel_traces[name], name
+
+    # The in-result summaries agree too (modulo the output paths).
+    for a, b in zip(serial, parallel):
+        sa = {k: v for k, v in a.telemetry.items() if not k.endswith("_path")}
+        sb = {k: v for k, v in b.telemetry.items() if not k.endswith("_path")}
+        assert sa == sb
+
+
+def test_back_to_back_serial_runs_identical(tmp_path):
+    """Packet/flow counters restart per testbed, so a second in-process
+    run of the same spec produces a byte-identical trace."""
+    first_dir = tmp_path / "first"
+    second_dir = tmp_path / "second"
+    Runner(jobs=1, cache=None).run_values(_specs(first_dir))
+    Runner(jobs=1, cache=None).run_values(_specs(second_dir))
+    assert _trace_texts(first_dir) == _trace_texts(second_dir)
+
+
+def test_cached_run_replays_fresh_telemetry_summary(tmp_path):
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    out_dir = tmp_path / "traces"
+
+    fresh = Runner(jobs=1, cache=cache).run_values(_specs(out_dir))
+    assert cache.misses == len(SCHEMES)
+
+    runner = Runner(jobs=1, cache=cache)
+    cached = runner.run_values(_specs(out_dir))
+    assert cache.hits == len(SCHEMES)
+    assert all(result.metrics.cached for result in runner.history)
+
+    for a, b in zip(fresh, cached):
+        assert a.telemetry == b.telemetry
+        assert a.airtime_shares == b.airtime_shares
+
+
+def test_traced_and_untraced_runs_use_distinct_cache_entries(tmp_path):
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    untraced = airtime_udp.specs(SCHEMES, duration_s=0.6, warmup_s=0.3)
+
+    Runner(jobs=1, cache=cache).run_values(untraced)
+    results = Runner(jobs=1, cache=cache).run_values(_specs(tmp_path / "t"))
+
+    # The traced specs were not satisfied from the untraced entries.
+    assert cache.misses == 2 * len(SCHEMES)
+    assert all(result.telemetry is not None for result in results)
