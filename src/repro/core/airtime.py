@@ -132,6 +132,20 @@ class AirtimeScheduler:
             self.old_stations.remove(station)
         self._membership[station] = None
 
+    def drop(self, station: int) -> None:
+        """Forget ``station`` entirely (churn detach).
+
+        Removes it from both scheduling lists *and* deletes its deficit,
+        so a later :meth:`wake` treats it as a brand-new station (fresh
+        quantum, one round of sparse-station priority) instead of
+        resuming a stale debt from before it left.
+        """
+        self._remove(station)
+        self._membership.pop(station, None)
+        self.deficits.pop(station, None)
+        if self._tr_sched is not None:
+            self._tr_sched.emit(self._now(), "station_drop", station=station)
+
     # ------------------------------------------------------------------
     # Airtime accounting
     # ------------------------------------------------------------------

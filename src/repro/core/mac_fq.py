@@ -81,6 +81,8 @@ class MacFqStructure:
         #: Drop counters by reason.
         self.drops_overlimit = 0
         self.drops_codel = 0
+        #: Packets discarded by an explicit flush (station churn).
+        self.drops_flushed = 0
 
         # Telemetry channels; None when tracing is off, so every emit site
         # is a single identity test.
@@ -205,8 +207,10 @@ class MacFqStructure:
         self.backlog_packets -= 1
         if reason == "overlimit":
             self.drops_overlimit += 1
-        else:
+        elif reason == "codel":
             self.drops_codel += 1
+        else:
+            self.drops_flushed += 1
         # Drop *records* are emitted by the unified DropReporter funnel
         # (repro.core.drops), not here — on_drop chains up to it.
         if self.on_drop is not None:
@@ -264,6 +268,41 @@ class MacFqStructure:
             return pkt
 
     # ------------------------------------------------------------------
+    # Flush (station churn)
+    # ------------------------------------------------------------------
+    def flush_tid(self, tid: TidState, reason: str = "detach") -> int:
+        """Drop every packet queued for ``tid``, returning the count.
+
+        Used when a station detaches mid-run: its queues are emptied
+        through the normal drop path (so the unified funnel and the
+        conservation audit both see the packets) and the flow queues it
+        occupied return to the idle pool for other TIDs to claim.
+        """
+        flushed = 0
+        for queue in list(tid.new_queues) + list(tid.old_queues):
+            while True:
+                pkt = queue.pop_head()
+                if pkt is None:
+                    break
+                self._account_drop(queue, pkt, reason)
+                flushed += 1
+            tid.delete_queue(queue)
+        if self._tr_queue is not None and flushed:
+            self._tr_queue.emit(
+                self._now(), "flush", layer=self._layer,
+                station=tid.station, n_pkts=flushed,
+            )
+        return flushed
+
+    def flush_station(self, station: int, reason: str = "detach") -> int:
+        """Flush every TID belonging to ``station`` (all ACs)."""
+        return sum(
+            self.flush_tid(tid, reason)
+            for tid in list(self._tids.values())
+            if tid.station == station
+        )
+
+    # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
     def tid_backlog(self, tid: TidState) -> int:
@@ -271,4 +310,4 @@ class MacFqStructure:
 
     @property
     def total_drops(self) -> int:
-        return self.drops_overlimit + self.drops_codel
+        return self.drops_overlimit + self.drops_codel + self.drops_flushed

@@ -46,6 +46,12 @@ class RoundRobinScheduler:
             self._ring.append(station)
             self._queued[station] = True
 
+    def drop(self, station: int) -> None:
+        """Forget ``station`` entirely (churn detach)."""
+        if self._queued.get(station, False):
+            self._ring.remove(station)
+        self._queued.pop(station, None)
+
     # Airtime hooks: the stock scheduler is airtime-oblivious.
     def report_tx_airtime(self, station: int, airtime_us: float) -> None:
         return None

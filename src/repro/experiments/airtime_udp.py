@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import three_station_rates
 from repro.experiments.testbed import Testbed, TestbedOptions
 from repro.experiments.workloads import saturating_udp_download
+from repro.faults import ConservationReport, FaultSchedule
 from repro.mac.ap import Scheme
 from repro.runner import RunSpec, Runner, execute
 from repro.telemetry import TelemetryConfig
@@ -39,6 +40,10 @@ class AirtimeUdpResult:
     #: Telemetry summary of the run (None for untraced runs); cached runs
     #: replay the same summary a fresh run produced.
     telemetry: Optional[Dict] = None
+    #: Conservation audit (impaired/strict runs only).
+    conservation: Optional[ConservationReport] = None
+    #: Realised-fault counters (impaired runs only).
+    fault_summary: Optional[Dict] = None
 
     @property
     def total_mbps(self) -> float:
@@ -51,11 +56,14 @@ def run_scheme(
     warmup_s: float = 3.0,
     seed: int = 1,
     telemetry: Optional[TelemetryConfig] = None,
+    faults: Optional[FaultSchedule] = None,
+    strict: bool = False,
 ) -> AirtimeUdpResult:
     """Run the UDP airtime scenario for one scheme."""
     testbed = Testbed(
         three_station_rates(),
-        TestbedOptions(scheme=scheme, seed=seed, telemetry=telemetry),
+        TestbedOptions(scheme=scheme, seed=seed, telemetry=telemetry,
+                       faults=faults, strict=strict),
     )
     saturating_udp_download(testbed)
     window_us = testbed.run(duration_s, warmup_s)
@@ -71,6 +79,11 @@ def run_scheme(
             i: testbed.tracker.mean_aggregation(i) for i in stations
         },
         telemetry=testbed.finish_telemetry(),
+        conservation=testbed.conservation,
+        fault_summary=(
+            testbed.fault_injector.summary()
+            if testbed.fault_injector is not None else None
+        ),
     )
 
 
@@ -80,12 +93,17 @@ def specs(
     warmup_s: float = 3.0,
     seed: int = 1,
     telemetry: Optional[TelemetryConfig] = None,
+    faults: Optional[FaultSchedule] = None,
+    strict: bool = False,
 ) -> List[RunSpec]:
     """One spec per scheme (the runner's unit of parallelism).
 
     ``telemetry`` is resolved per run (output paths gain the run label)
     and travels in the spec kwargs, so it participates in the cache
-    digest: a traced run never collides with an untraced one.
+    digest: a traced run never collides with an untraced one.  The same
+    holds for ``faults``/``strict``: they enter the kwargs only when
+    set, so clean runs keep their historical digests and impaired runs
+    never collide with them.
     """
     out: List[RunSpec] = []
     for scheme in schemes:
@@ -96,6 +114,10 @@ def specs(
         )
         if telemetry is not None:
             kwargs["telemetry"] = telemetry.for_run(label)
+        if faults is not None:
+            kwargs["faults"] = faults
+        if strict:
+            kwargs["strict"] = strict
         out.append(RunSpec.make(
             "repro.experiments.airtime_udp:run_scheme",
             label=label,
@@ -111,9 +133,12 @@ def run(
     seed: int = 1,
     runner: Optional[Runner] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    faults: Optional[FaultSchedule] = None,
+    strict: bool = False,
 ) -> List[AirtimeUdpResult]:
     return execute(
-        specs(schemes, duration_s, warmup_s, seed, telemetry), runner
+        specs(schemes, duration_s, warmup_s, seed, telemetry, faults, strict),
+        runner,
     )
 
 
@@ -123,6 +148,8 @@ def format_table(results: Sequence[AirtimeUdpResult]) -> str:
     header = f"{'Scheme':>16} {'Fast1':>7} {'Fast2':>7} {'Slow':>7} {'Total Mbps':>11}"
     lines.append(header)
     for result in results:
+        if result is None:  # failed run; the runner's failure table has it
+            continue
         shares = result.airtime_shares
         lines.append(
             f"{result.scheme.value:>16} "

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 from repro.experiments import (
     airtime_udp,
     fairness_index,
+    fault_tolerance,
     latency,
     scaling,
     sparse,
@@ -34,7 +35,8 @@ from repro.experiments import (
     voip,
     web,
 )
-from repro.runner import ResultCache, Runner, RunResult, default_jobs
+from repro.faults import FaultSchedule
+from repro.runner import FailedResult, ResultCache, Runner, RunResult, default_jobs
 from repro.telemetry import (
     TRACE_CATEGORIES,
     TelemetryConfig,
@@ -44,7 +46,7 @@ from repro.telemetry import (
     summarize_file,
 )
 
-__all__ = ["main", "EXPERIMENTS", "TRACEABLE"]
+__all__ = ["main", "EXPERIMENTS", "TRACEABLE", "FAULTABLE"]
 
 log = get_logger("repro.cli")
 
@@ -66,10 +68,25 @@ def _run_fig04(duration: float, warmup: float, seed: int,
 
 def _run_fig05(duration: float, warmup: float, seed: int,
                runner: Optional[Runner] = None,
-               telemetry: Optional[TelemetryConfig] = None) -> str:
+               telemetry: Optional[TelemetryConfig] = None,
+               faults: Optional[FaultSchedule] = None,
+               strict: bool = False) -> str:
     return airtime_udp.format_table(
         airtime_udp.run(duration_s=duration, warmup_s=warmup, seed=seed,
-                        runner=runner, telemetry=telemetry)
+                        runner=runner, telemetry=telemetry,
+                        faults=faults, strict=strict)
+    )
+
+
+def _run_faults(duration: float, warmup: float, seed: int,
+                runner: Optional[Runner] = None,
+                telemetry: Optional[TelemetryConfig] = None,
+                faults: Optional[FaultSchedule] = None,
+                strict: bool = False) -> str:
+    return fault_tolerance.format_table(
+        fault_tolerance.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                            runner=runner, telemetry=telemetry,
+                            faults=faults, strict=strict)
     )
 
 
@@ -134,10 +151,16 @@ EXPERIMENTS: dict[str, tuple[str, float, float, ExperimentFn]] = {
     "fig09": ("30-station scaling (Figures 9/10)", 30, 10, _run_fig09),
     "table2": ("VoIP MOS and throughput (Table 2)", 12, 6, _run_table2),
     "fig11": ("web page-load times (Figure 11)", 40, 5, _run_fig11),
+    "faults": ("fairness/latency under channel impairment and churn",
+               10, 2, _run_faults),
 }
 
 #: Experiments whose runner accepts a ``telemetry=`` kwarg.
-TRACEABLE = {"fig04", "fig05"}
+TRACEABLE = {"fig04", "fig05", "faults"}
+
+#: Experiments whose runner accepts ``faults=`` / ``strict=`` kwargs.
+#: (``faults`` runs its built-in default schedule when none is given.)
+FAULTABLE = {"fig05", "faults"}
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +207,18 @@ def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
         categories=categories,
         metrics_path=args.metrics_out,
     )
+
+
+def _failure_table(failures: list[FailedResult]) -> str:
+    """Post-mortem table for runs that produced no value."""
+    lines = ["Failed runs (no value; never cached — rerun retries them)"]
+    lines.append(f"{'label':<28} {'phase':>8} {'attempts':>8}  error")
+    for failure in failures:
+        lines.append(
+            f"{failure.spec.label:<28} {failure.phase:>8} "
+            f"{failure.attempts:8d}  {failure.error}"
+        )
+    return "\n".join(lines)
 
 
 def _run_cost_table(history: list[RunResult]) -> str:
@@ -241,6 +276,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="record per-run peak heap and print a "
                              "run-cost table")
+    parser.add_argument("--faults", default=None, metavar="FILE",
+                        help="JSON fault schedule (burst loss, interference, "
+                             "rate crashes, station churn) applied to "
+                             "fault-aware experiments")
+    parser.add_argument("--strict", action="store_true",
+                        help="arm invariant watchdogs: conservation or "
+                             "stall violations abort the run")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any single run exceeding this wall time "
+                             "(parallel runs only); it is retried once, "
+                             "then reported as failed")
     args = parser.parse_args(argv)
 
     configure_logging(args.verbose - args.quiet)
@@ -265,11 +312,21 @@ def main(argv: list[str] | None = None) -> int:
         log.error("%s", exc)
         return 2
 
+    schedule: Optional[FaultSchedule] = None
+    if args.faults is not None:
+        try:
+            schedule = FaultSchedule.from_json(args.faults)
+        except (OSError, ValueError) as exc:
+            log.error("cannot load fault schedule %s: %s", args.faults, exc)
+            return 2
+
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = Runner(jobs=jobs,
                     cache=None if args.no_cache else ResultCache(),
-                    profile=args.profile)
+                    profile=args.profile,
+                    timeout_s=args.run_timeout)
 
+    broken_tables = 0
     for name in names:
         desc, default_dur, default_warm, experiment = EXPERIMENTS[name]
         duration = args.duration if args.duration is not None else default_dur
@@ -281,9 +338,23 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 log.warning("%s does not support --trace/--metrics-out yet; "
                             "running it untraced", name)
+        if name in FAULTABLE:
+            if schedule is not None:
+                kwargs["faults"] = schedule
+            if args.strict:
+                kwargs["strict"] = True
+        elif schedule is not None or args.strict:
+            log.warning("%s does not support --faults/--strict; "
+                        "running it unimpaired", name)
         start = time.time()
         log.info("=== %s: %s ===", name, desc)
-        print(experiment(duration, warmup, args.seed, **kwargs))
+        try:
+            print(experiment(duration, warmup, args.seed, **kwargs))
+        except Exception as exc:
+            # Keep going: later experiments (and the failure table) still
+            # render even if one table cannot cope with missing rows.
+            log.error("%s failed: %s", name, exc)
+            broken_tables += 1
         log.info("[%s: %.0fs wall]", name, time.time() - start)
 
     if telemetry is not None and telemetry.trace_path is not None:
@@ -293,7 +364,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile and runner.history:
         print()
         print(_run_cost_table(runner.history))
-    return 0
+    failures = runner.failures
+    if failures:
+        print()
+        print(_failure_table(failures))
+        log.warning("%d run(s) failed; tables above hold the surviving runs",
+                    len(failures))
+        # Partial success: data was produced, but not all of it.
+        return 3
+    return 1 if broken_tables else 0
 
 
 if __name__ == "__main__":

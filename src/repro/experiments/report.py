@@ -27,6 +27,7 @@ from typing import Callable, List, Optional
 from repro.experiments import (
     airtime_udp,
     fairness_index,
+    fault_tolerance,
     latency,
     scaling,
     sparse,
@@ -365,6 +366,51 @@ def _section_web(scale: float, runner: Optional[Runner] = None) -> str:
     ])
 
 
+def _section_fault_tolerance(scale: float,
+                             runner: Optional[Runner] = None) -> str:
+    results = fault_tolerance.run(duration_s=10 * scale, warmup_s=2 * scale,
+                                  runner=runner, strict=True)
+    usable = [r for r in results if r is not None]
+    by_scheme = {r.scheme: r for r in usable}
+    checks = []
+    if usable:
+        checks.append(ShapeCheck(
+            "packet conservation holds under impairment for every scheme",
+            all(r.conservation is not None and r.conservation.ok
+                for r in usable),
+            ", ".join(
+                f"{r.scheme.value}: "
+                f"{'ok' if r.conservation and r.conservation.ok else 'VIOLATED'}"
+                for r in usable
+            ),
+        ))
+    if Scheme.AIRTIME in by_scheme and Scheme.FIFO in by_scheme:
+        air = by_scheme[Scheme.AIRTIME]
+        fifo = by_scheme[Scheme.FIFO]
+        # The comparative checks need actual sample windows; very short
+        # smoke runs (duration below the sampling window) have none.
+        if air.jain_series and fifo.jain_series:
+            checks.append(ShapeCheck(
+                "airtime fairness degrades most gracefully under faults "
+                "(worst-window Jain above FIFO's)",
+                air.min_jain() > fifo.min_jain(),
+                f"FIFO {fifo.min_jain():.3f} vs Airtime {air.min_jain():.3f}",
+            ))
+        if air.rtt_series and fifo.rtt_series:
+            checks.append(ShapeCheck(
+                "worst-window ping latency stays well below FIFO's "
+                "while impaired",
+                air.worst_rtt_ms() < fifo.worst_rtt_ms(),
+                f"FIFO {fifo.worst_rtt_ms():.0f} ms vs "
+                f"Airtime {air.worst_rtt_ms():.0f} ms",
+            ))
+    return "\n".join([
+        "## Fault tolerance — impairment schedule (beyond the paper)", "",
+        "```", fault_tolerance.format_table(results), "```", "",
+        _checks_table(checks),
+    ])
+
+
 SECTIONS: List[Callable[[float, Optional[Runner]], str]] = [
     _section_table1,
     _section_latency,
@@ -375,6 +421,7 @@ SECTIONS: List[Callable[[float, Optional[Runner]], str]] = [
     _section_scaling,
     _section_voip,
     _section_web,
+    _section_fault_tolerance,
 ]
 
 
@@ -423,14 +470,47 @@ def generate_report(
         "",
     ]
     for section in SECTIONS:
+        name = section.__name__.lstrip("_")
         start = time.time()
-        log.info("running %s ...", section.__name__.lstrip("_"))
-        parts.append(section(duration_scale, runner))
+        log.info("running %s ...", name)
+        try:
+            parts.append(section(duration_scale, runner))
+        except Exception as exc:
+            # A failed run leaves holes a section may not tolerate; render
+            # the gap as a note so the rest of the report still lands.
+            log.error("section %s failed: %s", name, exc)
+            parts.append(
+                f"## {name}\n\n"
+                f"*Section could not be rendered ({type(exc).__name__}: "
+                f"{exc}); see the failed-runs table below.*"
+            )
         parts.append(f"\n*(section wall time: {time.time() - start:.0f}s)*\n")
+    if runner is not None and runner.failures:
+        parts.append(_failures_section(runner))
+        parts.append("")
     if include_run_costs and runner is not None and runner.history:
         parts.append(_run_cost_section(runner))
         parts.append("")
     return "\n".join(parts)
+
+
+def _failures_section(runner: Runner) -> str:
+    """Markdown table of runs that produced no value (partial report)."""
+    lines = [
+        "## Failed runs", "",
+        "These runs produced no value and were **not** cached; the tables "
+        "above hold the surviving runs. A re-run retries them from "
+        "scratch.", "",
+        "| spec | phase | attempts | error |",
+        "|---|---|---:|---|",
+    ]
+    for failure in runner.failures:
+        error = failure.error.replace("|", "\\|")
+        lines.append(
+            f"| {failure.spec.label} | {failure.phase} "
+            f"| {failure.attempts} | {error} |"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -447,6 +527,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="record per-run peak heap and append a "
                              "run-cost section to the report")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any single run exceeding this wall time "
+                             "(parallel runs only); it is retried once, "
+                             "then reported in the failed-runs section")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="more status output (repeat for debug)")
     parser.add_argument("-q", "--quiet", action="count", default=0,
@@ -455,7 +540,8 @@ def main(argv: list[str] | None = None) -> int:
     configure_logging(args.verbose - args.quiet)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = None if args.no_cache else ResultCache()
-    runner = Runner(jobs=jobs, cache=cache, profile=args.profile)
+    runner = Runner(jobs=jobs, cache=cache, profile=args.profile,
+                    timeout_s=args.run_timeout)
     report = generate_report(args.duration_scale, runner=runner,
                              include_run_costs=args.profile)
     if args.output:
@@ -467,6 +553,10 @@ def main(argv: list[str] | None = None) -> int:
     if cache is not None and (cache.hits or cache.misses):
         log.info("[cache: %d hits, %d misses under %s/]",
                  cache.hits, cache.misses, cache.root)
+    if runner.failures:
+        log.warning("%d run(s) failed; the report holds partial results",
+                    len(runner.failures))
+        return 3
     return 0
 
 

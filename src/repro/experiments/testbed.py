@@ -13,6 +13,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import AirtimeTracker
 from repro.core.packet import reset_packet_counters
+from repro.faults import (
+    ConservationReport,
+    FaultInjector,
+    FaultSchedule,
+    InvariantViolation,
+    StallDetector,
+    audit_conservation,
+)
 from repro.mac.ap import AccessPoint, APConfig, Scheme
 from repro.mac.medium import Medium
 from repro.mac.station import ClientStation
@@ -42,6 +50,14 @@ class TestbedOptions:
     #: Telemetry (tracing / metrics); ``None`` or an inactive config keeps
     #: every instrumentation site on its zero-cost path.
     telemetry: Optional[TelemetryConfig] = None
+    #: Fault injection (channel impairments, churn); ``None`` runs clean.
+    #: Rides in the cache digest like every other option, so impaired
+    #: runs never collide with clean ones.
+    faults: Optional[FaultSchedule] = None
+    #: Strict mode: invariant-watchdog violations (packet conservation,
+    #: stalls) raise :class:`InvariantViolation` instead of being
+    #: recorded for the report.
+    strict: bool = False
 
 
 class Testbed:
@@ -121,6 +137,28 @@ class Testbed:
                 self.sampler.add_probe(self._sample_stations)
                 self.sampler.start()
 
+        # --- fault injection + watchdogs -------------------------------
+        self.fault_injector: Optional[FaultInjector] = None
+        self.stall_detector: Optional[StallDetector] = None
+        #: Filled by :meth:`run` when faults/strict are active.
+        self.conservation: Optional[ConservationReport] = None
+        fault_channel = (
+            self.telemetry.channel("fault")
+            if self.telemetry is not None else None
+        )
+        if options.faults is not None and not options.faults.empty:
+            self.fault_injector = FaultInjector(
+                self, options.faults, trace_channel=fault_channel
+            ).install()
+        if options.strict or self.fault_injector is not None:
+            self.stall_detector = StallDetector(
+                self, strict=options.strict, trace_channel=fault_channel
+            ).start()
+        if options.strict:
+            # Same-timestamp livelock guard on the event engine; one µs of
+            # simulated time never legitimately needs this many events.
+            self.sim.set_stall_guard(1_000_000)
+
     # ------------------------------------------------------------------
     def _sample_queues(self) -> Dict[str, float]:
         out: Dict[str, float] = {
@@ -173,6 +211,20 @@ class Testbed:
             self.telemetry.mark(self.sim.now, "measurement_start")
         start = self.sim.now
         self.sim.run(until_us=self.sim.sec(warmup_s + duration_s))
+        if self.stall_detector is not None:
+            self.stall_detector.stop()
+        if self.options.strict or self.fault_injector is not None:
+            self.conservation = audit_conservation(self)
+            if self.telemetry is not None:
+                channel = self.telemetry.channel("fault")
+                if channel is not None:
+                    channel.emit(
+                        self.sim.now, "conservation",
+                        ok=self.conservation.ok,
+                        balance=self.conservation.balance,
+                    )
+            if self.options.strict and not self.conservation.ok:
+                raise InvariantViolation(self.conservation.describe())
         return self.sim.now - start
 
 

@@ -1,0 +1,63 @@
+"""Gilbert–Elliott bursty-loss process.
+
+The classic two-state channel model: a *good* state with low loss and a
+*bad* state with high loss, with exponentially distributed dwell times.
+Losses therefore arrive in bursts — the failure mode that stresses the
+retry chain and the airtime scheduler's deficit accounting in ways a
+uniform ``error_rate`` never does.
+
+The chain is advanced *lazily*: state transitions are only realised when
+:meth:`error_prob` is queried, by consuming exponential dwell draws from
+the chain's private RNG stream until the draw crosses the query time.
+Because queries happen at transmission completions — whose order is fully
+determined by the experiment seed — the chain's trajectory is exactly
+reproducible, and a chain that is never queried consumes no randomness
+at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["GilbertElliott"]
+
+
+class GilbertElliott:
+    """Two-state continuous-time loss chain, advanced lazily."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        good_error: float,
+        bad_error: float,
+        mean_good_us: float,
+        mean_bad_us: float,
+        start_us: float = 0.0,
+    ) -> None:
+        if mean_good_us <= 0 or mean_bad_us <= 0:
+            raise ValueError("mean dwell times must be positive")
+        self._rng = rng
+        self._good_error = good_error
+        self._bad_error = bad_error
+        self._mean_good_us = mean_good_us
+        self._mean_bad_us = mean_bad_us
+        self.bad = False
+        #: Diagnostics: realised transitions into the bad state.
+        self.bursts = 0
+        self._next_transition_us = start_us + self._dwell()
+
+    def _dwell(self) -> float:
+        mean = self._mean_bad_us if self.bad else self._mean_good_us
+        return self._rng.expovariate(1.0 / mean)
+
+    def _advance(self, now_us: float) -> None:
+        while self._next_transition_us <= now_us:
+            self.bad = not self.bad
+            if self.bad:
+                self.bursts += 1
+            self._next_transition_us += self._dwell()
+
+    def error_prob(self, now_us: float) -> float:
+        """Loss probability at ``now_us`` (advances the chain to it)."""
+        self._advance(now_us)
+        return self._bad_error if self.bad else self._good_error

@@ -1,0 +1,152 @@
+"""Simulation invariant watchdogs.
+
+Fault injection is only trustworthy if the simulator stays honest while
+being abused, so the fault layer ships its own auditors:
+
+* :func:`audit_conservation` — packet conservation at teardown: every
+  downlink packet the AP accepted is either delivered, accounted by the
+  drop funnel, or still resident somewhere (queues, holdback slots,
+  hardware queue, on the air).  A deficit means packets evaporated; a
+  surplus means double counting.
+* :class:`StallDetector` — a periodic in-simulation check that the
+  medium is making progress whenever the AP holds backlog.  Complements
+  the event engine's same-timestamp livelock guard
+  (:meth:`repro.sim.engine.Simulator.set_stall_guard`), which catches
+  zero-delay loops the sim-time detector can never observe.
+
+In ``--strict`` mode violations raise :class:`InvariantViolation`;
+otherwise they are recorded (and traced) for the report to surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.sim.engine import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.testbed import Testbed
+
+__all__ = [
+    "InvariantViolation",
+    "ConservationReport",
+    "audit_conservation",
+    "StallDetector",
+]
+
+#: Funnel layers that account *downlink* packets (uplink losses report
+#: through layer ``client`` and are excluded from the downlink audit).
+_DOWNLINK_LAYERS = ("qdisc", "mac", "hw")
+
+
+class InvariantViolation(RuntimeError):
+    """A simulation invariant failed (strict mode turns these fatal)."""
+
+
+@dataclass(frozen=True)
+class ConservationReport:
+    """Result of one packet-conservation audit."""
+
+    enqueued: int
+    delivered: int
+    dropped: int
+    resident: int
+
+    @property
+    def balance(self) -> int:
+        """``enqueued - (delivered + dropped + resident)``; 0 when exact."""
+        return self.enqueued - (self.delivered + self.dropped + self.resident)
+
+    @property
+    def ok(self) -> bool:
+        return self.balance == 0
+
+    def describe(self) -> str:
+        return (
+            f"downlink conservation: enqueued={self.enqueued} "
+            f"delivered={self.delivered} dropped={self.dropped} "
+            f"resident={self.resident} balance={self.balance}"
+        )
+
+
+def audit_conservation(testbed: "Testbed") -> ConservationReport:
+    """Audit downlink packet conservation for a finished (or paused) run."""
+    ap = testbed.ap
+    delivered = sum(st.rx_packets for st in testbed.stations.values())
+    dropped = sum(
+        count
+        for layer in _DOWNLINK_LAYERS
+        for count in ap.drops.counts.get(layer, {}).values()
+    )
+    resident = (
+        ap.resident_packets() + testbed.medium.inflight_downlink_packets()
+    )
+    return ConservationReport(
+        enqueued=ap.downlink_enqueued,
+        delivered=delivered,
+        dropped=dropped,
+        resident=resident,
+    )
+
+
+class StallDetector:
+    """Periodic no-progress check on the medium.
+
+    Every ``interval_s`` of simulated time: if the AP has resident
+    downlink packets but the medium's cumulative busy time has not moved
+    since the previous check, the run is stalled — backlog exists that
+    nothing is draining.  Violations are recorded in :attr:`violations`
+    (and optionally traced); in strict mode the first one raises.
+    """
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        interval_s: float = 1.0,
+        strict: bool = False,
+        trace_channel=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._testbed = testbed
+        self._strict = strict
+        self._trace = trace_channel
+        self._last_busy_us: Optional[float] = None
+        self.violations: List[str] = []
+        self._timer = PeriodicTimer(
+            testbed.sim, testbed.sim.sec(interval_s), self._check
+        )
+
+    def start(self) -> "StallDetector":
+        self._timer.start()
+        return self
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _check(self) -> None:
+        testbed = self._testbed
+        busy = testbed.medium.busy_time_us
+        resident = testbed.ap.resident_packets()
+        stalled = (
+            self._last_busy_us is not None
+            and busy == self._last_busy_us
+            and resident > 0
+        )
+        self._last_busy_us = busy
+        if not stalled:
+            return
+        message = (
+            f"stall at t={testbed.sim.now_sec:.3f}s: {resident} packets "
+            "resident but the medium transmitted nothing in the last "
+            "check interval"
+        )
+        self.violations.append(message)
+        if self._trace is not None:
+            self._trace.emit(
+                testbed.sim.now, "stall", resident=resident,
+                busy_us=busy,
+            )
+        if self._strict:
+            raise InvariantViolation(message)

@@ -150,6 +150,15 @@ class AggregateBuilder:
         """Packets currently held back for (station, ac): 0 or 1."""
         return 1 if (station, ac) in self._holdback else 0
 
+    def holdback_total(self) -> int:
+        """Packets held back across all (station, ac) slots."""
+        return len(self._holdback)
+
+    def flush_station(self, station: int) -> List[Packet]:
+        """Remove (and return) held-back packets for ``station`` (churn)."""
+        keys = [key for key in self._holdback if key[0] == station]
+        return [self._holdback.pop(key) for key in keys]
+
     def build(
         self,
         station: int,

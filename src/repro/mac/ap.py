@@ -160,8 +160,13 @@ class AccessPoint:
         self._vo_ring: Deque[int] = deque()
         self._vo_queues: Dict[int, Deque[Packet]] = {}
 
-        #: Packets lost because an aggregate exhausted its retries.
-        self.retry_drop_packets = 0
+        #: Stations currently detached (station churn); they are not
+        #: scheduled and new downlink packets for them are dropped.
+        self._detached: set[int] = set()
+
+        #: Downlink packets accepted from the wire (conservation audit:
+        #: enqueued == delivered + dropped + resident).
+        self.downlink_enqueued = 0
 
         # Telemetry (None when disabled; see set_trace).
         self._telemetry = None
@@ -260,6 +265,13 @@ class AccessPoint:
         if station is None or station not in self.stations:
             raise ValueError(f"no such station: {station}")
 
+        self.downlink_enqueued += 1
+        if station in self._detached:
+            # The station left the BSS: there is nowhere to queue toward.
+            # Dropping through the funnel keeps conservation exact.
+            self.drops.report(pkt, "mac", "detach")
+            return
+
         if pkt.ac is AccessCategory.VO:
             self._enqueue_vo(pkt, station)
         elif self.mac_fq is not None:
@@ -269,8 +281,7 @@ class AccessPoint:
         else:
             assert self.qdisc is not None and self.driver is not None
             self.qdisc.enqueue(pkt)
-            for woken in self.driver.pull():
-                self.scheduler.wake(woken)
+            self._pull_driver()
 
         self._fill_hw()
         self.medium.notify_backlog()
@@ -357,9 +368,15 @@ class AccessPoint:
             )
         self._hw.push(agg)
         if self.driver is not None:
-            for woken in self.driver.pull():
-                self.scheduler.wake(woken)
+            self._pull_driver()
         return agg.n_packets
+
+    def _pull_driver(self) -> None:
+        """Pull the qdisc into the driver, waking attached stations."""
+        assert self.driver is not None
+        for woken in self.driver.pull():
+            if woken not in self._detached:
+                self.scheduler.wake(woken)
 
     # ------------------------------------------------------------------
     # Hardware queue management
@@ -386,7 +403,8 @@ class AccessPoint:
         # Re-wake stations parked on a full per-AC hardware queue.
         if self._parked:
             for station in list(self._parked):
-                if self._station_has_backlog(station):
+                if (station not in self._detached
+                        and self._station_has_backlog(station)):
                     self.scheduler.wake(station)
             self._parked.clear()
         # Then the data-AC scheduler (round-robin or airtime DRR).
@@ -424,11 +442,87 @@ class AccessPoint:
             self.stations[agg.station].receive_from_ap(agg)
         else:
             if not self._hw.requeue_retry(agg):
-                self.retry_drop_packets += agg.n_packets
+                # The funnel is the single source of truth for retry
+                # losses; ``retry_drop_packets`` is derived from it (see
+                # the property below), so the two can never diverge.
                 for pkt in agg.packets:
                     self.drops.report(pkt, "hw", "retry")
-        if self._station_has_backlog(agg.station):
+        if (agg.station not in self._detached
+                and self._station_has_backlog(agg.station)):
             self.scheduler.wake(agg.station)
+        self._fill_hw()
+        self.medium.notify_backlog()
+
+    @property
+    def retry_drop_packets(self) -> int:
+        """Downlink packets lost to the retry limit (derived from the
+        funnel, so it can never disagree with ``drops.counts``)."""
+        return self.drops.counts.get("hw", {}).get("retry", 0)
+
+    # ------------------------------------------------------------------
+    # Station churn (fault injection)
+    # ------------------------------------------------------------------
+    def station_detached(self, station: int) -> bool:
+        return station in self._detached
+
+    def detach_station(self, station: int, mode: str = "flush") -> int:
+        """Detach ``station`` from the BSS (churn fault).
+
+        ``mode="flush"`` drops every packet queued toward the station
+        (qdisc excepted — see :meth:`LegacyDriver.flush_station`) through
+        the drop funnel, like a real AP tearing down the TIDs on
+        disassociation.  ``mode="park"`` keeps the queues resident but
+        stops scheduling them, modelling a powersave doze.  Returns the
+        number of packets flushed.
+        """
+        if mode not in ("flush", "park"):
+            raise ValueError("mode must be 'flush' or 'park'")
+        if station not in self.stations:
+            raise ValueError(f"no such station: {station}")
+        if station in self._detached:
+            return 0
+        self._detached.add(station)
+        self.stations[station].set_detached(True)
+        self.scheduler.drop(station)
+        self._parked.discard(station)
+        if station in self._vo_ring:
+            self._vo_ring.remove(station)
+        if mode == "park":
+            return 0
+
+        flushed = 0
+        if self.mac_fq is not None:
+            flushed += self.mac_fq.flush_station(station, reason="detach")
+        if self.driver is not None:
+            for pkt in self.driver.flush_station(station):
+                self.drops.report(pkt, "mac", "detach")
+                flushed += 1
+        queue = self._vo_queues.get(station)
+        if queue:
+            while queue:
+                self.drops.report(queue.popleft(), "mac", "detach")
+                flushed += 1
+        for pkt in self._builder.flush_station(station):
+            self.drops.report(pkt, "mac", "detach")
+            flushed += 1
+        for agg in self._hw.flush_station(station):
+            for pkt in agg.packets:
+                self.drops.report(pkt, "hw", "detach")
+                flushed += 1
+        return flushed
+
+    def reattach_station(self, station: int) -> None:
+        """Re-attach a previously detached station (churn fault)."""
+        if station not in self._detached:
+            return
+        self._detached.discard(station)
+        self.stations[station].set_detached(False)
+        if self._station_has_backlog(station):
+            self.scheduler.wake(station)
+        if self._vo_backlog(station) > 0 and station not in self._vo_ring:
+            self._vo_ring.append(station)
+        if self.driver is not None:
+            self._pull_driver()
         self._fill_hw()
         self.medium.notify_backlog()
 
@@ -453,4 +547,19 @@ class AccessPoint:
             total += self.driver.backlog
         if self.mac_fq is not None:
             total += self.mac_fq.backlog_packets
+        return total
+
+    def resident_packets(self) -> int:
+        """Downlink packets currently resident anywhere inside the AP.
+
+        Everything :meth:`send_downstream` accepted that has neither been
+        delivered nor dropped: queueing stack, VO queues, the builder's
+        holdback slots, and the hardware queue.  Frames on the air are
+        tracked by the medium (``inflight_downlink_packets``); the
+        conservation audit sums both.
+        """
+        total = self.total_queued_packets()
+        total += sum(len(q) for q in self._vo_queues.values())
+        total += self._builder.holdback_total()
+        total += self._hw.queued_packets()
         return total

@@ -97,6 +97,24 @@ class LegacyDriver:
         queue = self._queues.get((station, ac))
         return len(queue) if queue else 0
 
+    def flush_station(self, station: int) -> List[Packet]:
+        """Remove (and return) every buffered frame destined to ``station``.
+
+        Station churn: the detaching station's per-TID FIFOs are emptied;
+        the caller accounts the packets through the drop funnel.  Frames
+        still queued for it in the qdisc above are *not* touched — they
+        will be pulled down later and park here until the station
+        re-attaches (or the run ends), which mirrors how in-flight frames
+        behave in a real driver.
+        """
+        flushed: List[Packet] = []
+        for (st, _ac), queue in self._queues.items():
+            if st == station and queue:
+                flushed.extend(queue)
+                self.backlog -= len(queue)
+                queue.clear()
+        return flushed
+
     def occupancy_by_station(self) -> Dict[int, int]:
         """Frames buffered per station (diagnostics for the lock-out)."""
         out: Dict[int, int] = {}

@@ -54,6 +54,28 @@ class HardwareQueue:
         """Aggregates currently queued across all ACs (sampler probe)."""
         return sum(len(q) for q in self._queues.values())
 
+    def queued_packets(self) -> int:
+        """Packets inside queued aggregates (conservation accounting)."""
+        return sum(
+            agg.n_packets for q in self._queues.values() for agg in q
+        )
+
+    def flush_station(self, station: int) -> list:
+        """Remove (and return) queued aggregates destined to ``station``.
+
+        Station churn: a detaching station's built-but-untransmitted
+        aggregates are pulled back out so their packets can be accounted
+        as drops instead of silently evaporating.
+        """
+        removed = []
+        for queue in self._queues.values():
+            kept = [agg for agg in queue if agg.station != station]
+            if len(kept) != len(queue):
+                removed.extend(agg for agg in queue if agg.station == station)
+                queue.clear()
+                queue.extend(kept)
+        return removed
+
     # ------------------------------------------------------------------
     def full(self, ac: AccessCategory) -> bool:
         return len(self._queues[ac]) >= self.depth

@@ -118,6 +118,9 @@ class Medium:
         self.collision_count = 0
         #: Binary-exponential-backoff state: per-contender current CW.
         self._cw: dict[int, int] = {}
+        #: Aggregates currently on the air, as (agg, is_ap) pairs —
+        #: conservation audits must count a mid-flight frame as resident.
+        self._inflight: list[tuple[Aggregate, bool]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -127,6 +130,24 @@ class Medium:
 
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # In-flight accounting
+    # ------------------------------------------------------------------
+    def _track_inflight(self, agg: Aggregate, is_ap: bool) -> None:
+        self._inflight.append((agg, is_ap))
+
+    def _untrack_inflight(self, agg: Aggregate) -> None:
+        for i, (candidate, _is_ap) in enumerate(self._inflight):
+            if candidate is agg:
+                del self._inflight[i]
+                return
+
+    def inflight_downlink_packets(self) -> int:
+        """Packets inside AP aggregates currently on the air."""
+        return sum(
+            agg.n_packets for agg, is_ap in self._inflight if is_ap
+        )
 
     # ------------------------------------------------------------------
     # Channel access
@@ -197,6 +218,7 @@ class Medium:
             agg = contender.start_txop()
             if agg is not None:
                 started.append((contender, is_ap, agg))
+                self._track_inflight(agg, is_ap)
         if not started:
             self._busy = False
             self.notify_backlog()
@@ -225,6 +247,7 @@ class Medium:
         self.busy_time_us += duration + wait_us
         self._busy = False
         for contender, is_ap, agg in started:
+            self._untrack_inflight(agg)
             self._beb_on_collision(contender, agg.ac)
             record = TransmissionRecord(
                 start_us=self.sim.now - duration - wait_us,
@@ -251,6 +274,7 @@ class Medium:
             self._busy = False
             self.notify_backlog()
             return
+        self._track_inflight(agg, is_ap)
         duration = agg.duration_us
         self.sim.schedule(
             duration, lambda: self._complete(winner, is_ap, agg, wait_us)
@@ -278,6 +302,7 @@ class Medium:
         )
         self.busy_time_us += record.airtime_us
         self._busy = False
+        self._untrack_inflight(agg)
         if success and self.collisions:
             self._beb_on_success(winner)
         winner.txop_complete(agg, success)

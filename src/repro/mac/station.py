@@ -80,6 +80,10 @@ class ClientStation:
         self.tx_packets = 0
         self.rx_packets = 0
 
+        #: Station churn: a detached station neither contends for the
+        #: medium nor is scheduled by the AP; its uplink queues park.
+        self.detached = False
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -131,11 +135,19 @@ class ClientStation:
                     break
                 self._hw.push(agg)
 
+    def set_detached(self, detached: bool) -> None:
+        """Mark the station as (de)tached from the BSS (churn)."""
+        self.detached = detached
+        if not detached:
+            self._fill_hw()
+            if self.medium is not None and self._hw.has_pending():
+                self.medium.notify_backlog()
+
     # ------------------------------------------------------------------
     # Contender protocol
     # ------------------------------------------------------------------
     def has_frames_pending(self) -> bool:
-        return self._hw.has_pending()
+        return not self.detached and self._hw.has_pending()
 
     def pending_access_category(self) -> Optional[AccessCategory]:
         return self._hw.head_ac()
@@ -149,7 +161,14 @@ class ClientStation:
             assert self.ap is not None
             self.ap.receive_uplink(agg)
         else:
-            self._hw.requeue_retry(agg)
+            if not self._hw.requeue_retry(agg):
+                # Retry limit hit: the packets are gone — report them to
+                # the unified funnel so uplink losses are visible too
+                # (previously they evaporated with no accounting).
+                for pkt in agg.packets:
+                    self.uplink_drops += 1
+                    if self.ap is not None:
+                        self.ap.drops.report(pkt, "client", "retry")
         self._fill_hw()
         assert self.medium is not None
         self.medium.notify_backlog()

@@ -18,6 +18,7 @@ Typical use::
 
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.executor import (
+    FailedResult,
     RunMetrics,
     RunResult,
     Runner,
@@ -27,6 +28,7 @@ from repro.runner.executor import (
 from repro.runner.spec import RunSpec, canonical, derive_seed, spec_digest
 
 __all__ = [
+    "FailedResult",
     "ResultCache",
     "RunMetrics",
     "RunResult",

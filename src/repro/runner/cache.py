@@ -11,10 +11,19 @@ scheme changes.
 Writes are atomic (tempfile + ``os.replace``) so a crashed or parallel
 writer can never leave a truncated entry behind; concurrent writers of
 the same spec produce identical payloads, so last-writer-wins is safe.
+
+Integrity: each entry is a small envelope carrying the SHA-256 of the
+pickled payload.  A corrupt or truncated entry (bit rot, a torn write
+from a pre-atomic writer, a partially copied cache directory) fails the
+checksum, is *quarantined* — renamed to ``<digest>.pkl.corrupt`` so it
+can be inspected but never loaded again — and the lookup proceeds as a
+plain miss with a logged warning.  Unpickling never runs on bytes that
+fail the checksum.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -23,11 +32,20 @@ from typing import Any, Optional, Tuple
 
 import repro
 from repro.runner.spec import RunSpec
+from repro.telemetry.logutil import get_logger
 
 __all__ = ["ResultCache", "default_cache_dir"]
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _DEFAULT_DIR = ".repro-cache"
+
+#: Suffix appended to quarantined (checksum-failed) entries.
+_CORRUPT_SUFFIX = ".corrupt"
+
+#: Envelope format version; bump when the on-disk structure changes.
+_FORMAT = 2
+
+log = get_logger("repro.cache")
 
 
 def default_cache_dir() -> Path:
@@ -47,6 +65,8 @@ class ResultCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        #: Entries quarantined after failing their checksum.
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def path_for(self, spec: RunSpec) -> Path:
@@ -56,14 +76,25 @@ class ResultCache:
         """Return ``(hit, payload)``; payload is the stored dict on a hit."""
         path = self.path_for(spec)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            raw = path.read_bytes()
+        except OSError:
+            # Missing entry (or unreadable file): a plain miss.
+            self.misses += 1
+            return False, None
+
+        blob = self._verified_blob(raw)
+        if blob is None:
+            if not self._is_legacy_entry(raw):
+                self._quarantine(path)
+            self.misses += 1
+            return False, None
+
+        try:
+            payload = pickle.loads(blob)
         except Exception:
-            # Missing, truncated, corrupted, or written against a renamed
-            # class.  Unpickling arbitrary corrupt bytes can raise nearly
-            # anything (ValueError/KeyError/IndexError from misread
-            # opcodes, not just UnpicklingError), and every case is the
-            # same plain miss; the entry is rebuilt on put().
+            # The bytes are intact (checksum passed) but reference code
+            # that no longer unpickles — e.g. a renamed class.  Not
+            # corruption; just a stale entry that put() will rebuild.
             self.misses += 1
             return False, None
         if not isinstance(payload, dict) or payload.get("version") != self.version:
@@ -71,6 +102,54 @@ class ResultCache:
             return False, None
         self.hits += 1
         return True, payload
+
+    def _verified_blob(self, raw: bytes) -> Optional[bytes]:
+        """Unwrap the envelope, returning the payload blob or ``None``.
+
+        Any structural problem — unparseable envelope, wrong format tag,
+        checksum mismatch — means the file is not something this cache
+        wrote and got back intact, and the caller quarantines it.
+        """
+        try:
+            envelope = pickle.loads(raw)
+        except Exception:
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != _FORMAT
+            or not isinstance(envelope.get("payload"), bytes)
+        ):
+            return None
+        blob = envelope["payload"]
+        if hashlib.sha256(blob).hexdigest() != envelope.get("sha256"):
+            return None
+        return blob
+
+    @staticmethod
+    def _is_legacy_entry(raw: bytes) -> bool:
+        """True for intact pre-checksum entries (format 1: a bare dict).
+
+        Those are a plain miss — ``put()`` rewrites them in the new
+        format — not corruption, so they are not quarantined.
+        """
+        try:
+            payload = pickle.loads(raw)
+        except Exception:
+            return False
+        return isinstance(payload, dict) and "format" not in payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is inspectable but never reused."""
+        target = path.with_suffix(path.suffix + _CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
+        log.warning(
+            "cache entry %s failed its checksum; quarantined to %s "
+            "and treated as a miss", path.name, target.name,
+        )
 
     def put(self, spec: RunSpec, value: Any, metrics: Any = None) -> None:
         """Store a result atomically; IO errors are non-fatal (cache only)."""
@@ -81,12 +160,18 @@ class ResultCache:
             "value": value,
             "metrics": metrics,
         }
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "format": _FORMAT,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "payload": blob,
+        }
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, self.path_for(spec))
             except BaseException:
                 os.unlink(tmp)
@@ -95,13 +180,14 @@ class ResultCache:
             pass
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (quarantined ones included)."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", f"*.pkl{_CORRUPT_SUFFIX}"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed

@@ -12,6 +12,14 @@ there is only one spec, or when process pools are unavailable on the
 platform (no ``/dev/shm``, restricted sandbox, broken fork), execution
 falls back to plain in-process calls with identical results.
 
+The runner is also *fault tolerant*: one run raising, hanging past
+``timeout_s``, or taking its worker process down does not abort the
+sweep.  The casualty becomes a structured :class:`FailedResult` on its
+:class:`RunResult` (``value=None``), timeouts and crashes get a bounded
+number of retries (deterministic errors get none — rerunning the same
+seed reproduces the same exception), and every surviving run completes
+normally.  Failures are never cached.
+
 Each result carries :class:`RunMetrics` — wall time, events executed, and
 events/sec — measured via the engine's process-wide event counter, so
 perf regressions in the simulator hot path surface in every report run.
@@ -20,19 +28,29 @@ perf regressions in the simulator hot path surface in every report run.
 from __future__ import annotations
 
 import os
-import time
+import traceback as tb_module
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.spec import RunSpec
-from repro.sim.engine import events_processed_total
+from repro.telemetry.logutil import get_logger
 
-__all__ = ["RunMetrics", "RunResult", "Runner", "execute", "default_jobs"]
+__all__ = [
+    "FailedResult",
+    "RunMetrics",
+    "RunResult",
+    "Runner",
+    "execute",
+    "default_jobs",
+]
 
 _ENV_JOBS = "REPRO_JOBS"
+
+log = get_logger("repro.runner")
 
 
 def default_jobs() -> int:
@@ -63,12 +81,48 @@ class RunMetrics:
 
 
 @dataclass(frozen=True)
+class FailedResult:
+    """Structured record of a run that produced no value.
+
+    ``phase`` says how it died:
+
+    * ``"error"`` — the experiment function raised (deterministic; never
+      retried);
+    * ``"timeout"`` — the run exceeded the runner's ``timeout_s``;
+    * ``"crash"`` — the worker process died under it (segfault, OOM
+      kill, ``os._exit``).
+    """
+
+    spec: RunSpec
+    phase: str
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return f"[{self.phase}] {self.spec.label}: {self.error}"
+
+
+@dataclass(frozen=True)
 class RunResult:
-    """A spec, its return value, and what it cost to produce."""
+    """A spec, its return value, and what it cost to produce.
+
+    ``value`` is ``None`` (and ``error`` carries the post-mortem) for
+    runs that failed; check :attr:`ok` before consuming the value.
+    """
 
     spec: RunSpec
     value: Any
     metrics: RunMetrics
+    error: Optional[FailedResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: What one spec's execution produced: (value, metrics) or a post-mortem.
+_Outcome = Union[Tuple[Any, RunMetrics], FailedResult]
 
 
 def _execute_spec(
@@ -91,6 +145,11 @@ def _execute_spec(
     )
 
 
+def _canary() -> int:
+    """Trivial probe task proving the pool machinery itself works."""
+    return 42
+
+
 @dataclass
 class Runner:
     """Executes :class:`RunSpec` batches with caching and a process pool.
@@ -102,26 +161,51 @@ class Runner:
         ``1`` forces in-process execution (no pool, no pickling).
     cache:
         A :class:`ResultCache`, or ``None`` to disable caching entirely.
+    timeout_s:
+        Per-run wall-clock budget, enforced on the pool path (an
+        in-process run cannot be interrupted from within; with
+        ``jobs=1`` the budget is not enforced).  A worker stuck past it
+        is terminated and the run fails with phase ``"timeout"``.
+    retries:
+        How many times a timed-out or crashed run is retried (in a
+        fresh pool) before its :class:`FailedResult` is final.  Runs
+        that *raise* are never retried — same seed, same exception.
     """
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     #: Track per-run peak heap via tracemalloc (slower; opt-in).
     profile: bool = False
+    timeout_s: Optional[float] = None
+    retries: int = 1
     #: Set after each map(): True when the last batch used the pool.
     used_pool: bool = field(default=False, init=False)
     #: Every RunResult produced by this runner, across all map() calls —
     #: the raw material for run-cost reporting.
     history: List[RunResult] = field(default_factory=list, init=False)
+    #: Cached canary-probe verdict (None until first needed).
+    _pools_usable: Optional[bool] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if self.jobs is None:
             self.jobs = default_jobs()
         self.jobs = max(1, int(self.jobs))
+        self.retries = max(0, int(self.retries))
+
+    # ------------------------------------------------------------------
+    @property
+    def failures(self) -> List[FailedResult]:
+        """Post-mortems of every failed run this runner has seen."""
+        return [r.error for r in self.history if r.error is not None]
 
     # ------------------------------------------------------------------
     def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
-        """Execute every spec, returning results in spec order."""
+        """Execute every spec, returning results in spec order.
+
+        Failed runs yield a :class:`RunResult` with ``value=None`` and
+        ``error`` set; they are never written to the cache, so a later
+        invocation retries them from scratch.
+        """
         specs = list(specs)
         results: List[Optional[RunResult]] = [None] * len(specs)
 
@@ -141,9 +225,17 @@ class Runner:
                     continue
             pending.append((index, spec))
 
-        for (index, spec), (value, metrics) in zip(
+        for (index, spec), outcome in zip(
             pending, self._execute_batch([spec for _, spec in pending])
         ):
+            if isinstance(outcome, FailedResult):
+                log.warning("run failed %s", outcome.describe())
+                results[index] = RunResult(
+                    spec, None, RunMetrics(wall_s=0.0, events=0),
+                    error=outcome,
+                )
+                continue
+            value, metrics = outcome
             if self.cache is not None:
                 self.cache.put(spec, value, metrics)
             results[index] = RunResult(spec, value, metrics)
@@ -151,13 +243,15 @@ class Runner:
         return results  # type: ignore[return-value]
 
     def run_values(self, specs: Iterable[RunSpec]) -> List[Any]:
-        """Like :meth:`map` but returning just the run values."""
+        """Like :meth:`map` but returning just the run values.
+
+        Failed runs contribute ``None`` — callers that cannot tolerate
+        holes should use :meth:`map` and check :attr:`RunResult.ok`.
+        """
         return [result.value for result in self.map(specs)]
 
     # ------------------------------------------------------------------
-    def _execute_batch(
-        self, specs: Sequence[RunSpec]
-    ) -> List[Tuple[Any, RunMetrics]]:
+    def _execute_batch(self, specs: Sequence[RunSpec]) -> List[_Outcome]:
         if not specs:
             return []
         self.used_pool = False
@@ -168,22 +262,177 @@ class Runner:
                 # Pools need working fork/spawn + shared semaphores; fall
                 # back to in-process execution rather than failing the run.
                 self.used_pool = False
-        return [_execute_spec(spec, self.profile) for spec in specs]
+        return [self._execute_one_inprocess(spec) for spec in specs]
 
-    def _execute_pool(
-        self, specs: Sequence[RunSpec]
-    ) -> List[Tuple[Any, RunMetrics]]:
-        workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+    def _execute_one_inprocess(self, spec: RunSpec) -> _Outcome:
+        try:
+            return _execute_spec(spec, self.profile)
+        except Exception as exc:
+            return FailedResult(
+                spec=spec,
+                phase="error",
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=tb_module.format_exc(),
+            )
+
+    # ------------------------------------------------------------------
+    # Pool execution with per-run timeouts and crash containment
+    # ------------------------------------------------------------------
+    def _execute_pool(self, specs: Sequence[RunSpec]) -> List[_Outcome]:
+        """Run ``specs`` on a process pool, absorbing per-run casualties.
+
+        Timed-out and crashed runs are retried (up to ``retries`` times
+        each) in a fresh pool alongside any innocent victims a dead
+        worker took down with it; whatever still fails is returned as a
+        :class:`FailedResult` in place.  Raises ``BrokenProcessPool``
+        only when the *first* pass produced nothing at all — the signal
+        that pools simply do not work on this platform, which the caller
+        turns into the in-process fallback.
+        """
+        outcomes: dict = {}
+        attempts = [0] * len(specs)
+        items = list(range(len(specs)))
+        first_pass = True
+        while items:
+            items = self._pool_pass(specs, items, outcomes, attempts, first_pass)
+            first_pass = False
+        self.used_pool = True
+        return [outcomes[i] for i in range(len(specs))]
+
+    def _pool_pass(
+        self,
+        specs: Sequence[RunSpec],
+        items: List[int],
+        outcomes: dict,
+        attempts: List[int],
+        first_pass: bool,
+    ) -> List[int]:
+        """One pool generation; returns the indices to run again."""
+        workers = min(self.jobs, len(items))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             # Submission order == collection order: determinism does not
             # depend on which worker finishes first.
-            futures = [
-                pool.submit(_execute_spec, spec, self.profile)
-                for spec in specs
-            ]
-            outputs = [future.result() for future in futures]
-        self.used_pool = True
-        return outputs
+            futures = {
+                i: pool.submit(_execute_spec, specs[i], self.profile)
+                for i in items
+            }
+        except BaseException:
+            pool.shutdown(wait=False)
+            raise
+
+        resubmit: List[int] = []
+        #: Futures that round-tripped through a worker (a returned value
+        #: or a pickled exception both prove the pool machinery works).
+        completed = 0
+        pool_broken = False
+        stuck_workers = False
+        for i in items:
+            spec = specs[i]
+            try:
+                outcomes[i] = futures[i].result(timeout=self.timeout_s)
+                completed += 1
+            except FutureTimeoutError:
+                stuck_workers = True
+                futures[i].cancel()
+                self._charge_failure(
+                    spec, i, outcomes, attempts, resubmit,
+                    phase="timeout",
+                    error=f"run exceeded the {self.timeout_s}s budget",
+                )
+            except BrokenProcessPool:
+                if (first_pass and completed == 0 and not pool_broken
+                        and not self._probe_pool()):
+                    # Nothing worked yet AND a trivial canary task cannot
+                    # run either: pools are unusable on this platform.
+                    # Re-raise so the caller falls back to in-process
+                    # execution.  (If the canary passes, the dead worker
+                    # was killed by the spec itself — running that spec
+                    # in-process would take down the main interpreter,
+                    # so it is charged as a crash instead.)
+                    pool.shutdown(wait=False)
+                    raise
+                if pool_broken:
+                    # An innocent victim of the culprit's dead worker:
+                    # resubmit without charging its retry budget.
+                    resubmit.append(i)
+                else:
+                    # First casualty in collection order: the run the
+                    # dying worker was executing.
+                    pool_broken = True
+                    self._charge_failure(
+                        spec, i, outcomes, attempts, resubmit,
+                        phase="crash",
+                        error="worker process died while running this spec",
+                    )
+            except Exception as exc:
+                # The spec itself raised (pickled back from the worker):
+                # deterministic, so never retried.
+                completed += 1
+                outcomes[i] = FailedResult(
+                    spec=spec,
+                    phase="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback="".join(
+                        tb_module.format_exception(type(exc), exc, exc.__traceback__)
+                    ),
+                    attempts=attempts[i] + 1,
+                )
+
+        # Snapshot worker handles first: shutdown() clears the attribute.
+        workers_alive = list((getattr(pool, "_processes", None) or {}).values())
+        return self._finish_pass(pool, resubmit, stuck_workers, workers_alive)
+
+    def _probe_pool(self) -> bool:
+        """True when a fresh one-worker pool can run a trivial task."""
+        if self._pools_usable is None:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as probe:
+                    self._pools_usable = (
+                        probe.submit(_canary).result(timeout=60) == 42
+                    )
+            except Exception:
+                self._pools_usable = False
+        return self._pools_usable
+
+    def _finish_pass(
+        self,
+        pool: "ProcessPoolExecutor",
+        resubmit: List[int],
+        stuck_workers: bool,
+        workers_alive: list,
+    ) -> List[int]:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if stuck_workers:
+            # Workers wedged on timed-out runs never pick up new tasks
+            # and would block interpreter exit; put them down.
+            for proc in workers_alive:
+                proc.terminate()
+        return resubmit
+
+    def _charge_failure(
+        self,
+        spec: RunSpec,
+        index: int,
+        outcomes: dict,
+        attempts: List[int],
+        resubmit: List[int],
+        phase: str,
+        error: str,
+    ) -> None:
+        """Record a retryable failure: resubmit within budget, else final."""
+        attempts[index] += 1
+        if attempts[index] <= self.retries:
+            log.warning(
+                "run %s %s (attempt %d/%d); retrying",
+                spec.label, phase, attempts[index], self.retries + 1,
+            )
+            resubmit.append(index)
+        else:
+            outcomes[index] = FailedResult(
+                spec=spec, phase=phase, error=error,
+                attempts=attempts[index],
+            )
 
 
 def execute(specs: Iterable[RunSpec], runner: Optional[Runner] = None) -> List[Any]:
@@ -191,7 +440,8 @@ def execute(specs: Iterable[RunSpec], runner: Optional[Runner] = None) -> List[A
 
     This is the compatibility shim the experiment modules call: existing
     code paths (``module.run()`` with no runner) behave exactly as the
-    old serial loops did — same process, same order, no cache.
+    old serial loops did — same process, same order, no cache, and an
+    exception propagates instead of becoming a :class:`FailedResult`.
     """
     if runner is None:
         return [_execute_spec(spec)[0] for spec in specs]

@@ -105,6 +105,9 @@ class Simulator:
         #: Lazy heap compactions performed (telemetry: how often the
         #: cancel-heavy workload actually pays the rebuild cost).
         self.compactions = 0
+        #: No-progress watchdog: maximum events executed at one timestamp
+        #: before the loop declares a livelock (None = disabled).
+        self._stall_limit: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -169,6 +172,23 @@ class Simulator:
         self.compactions += 1
 
     # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def set_stall_guard(self, max_events_per_timestamp: Optional[int]) -> None:
+        """Arm (or disarm, with ``None``) the no-progress watchdog.
+
+        A livelocked simulation — components endlessly rescheduling each
+        other with zero-delay callbacks — never advances the clock, so
+        ``run(until_us=...)`` would spin forever.  With the guard armed,
+        executing more than ``max_events_per_timestamp`` events without
+        the clock moving raises :class:`SimulationError` instead.  The
+        check costs one ``is not None`` test per event when disarmed.
+        """
+        if max_events_per_timestamp is not None and max_events_per_timestamp <= 0:
+            raise ValueError("max_events_per_timestamp must be positive")
+        self._stall_limit = max_events_per_timestamp
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until_us: Optional[float] = None) -> None:
@@ -185,6 +205,9 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         executed = 0
+        stall_limit = self._stall_limit
+        stall_ts = -1.0
+        stall_count = 0
         try:
             while queue:
                 event = queue[0]
@@ -200,6 +223,18 @@ class Simulator:
                     raise SimulationError("event queue went backwards")
                 self.now = event.time
                 executed += 1
+                if stall_limit is not None:
+                    if event.time == stall_ts:
+                        stall_count += 1
+                        if stall_count > stall_limit:
+                            raise SimulationError(
+                                f"no-progress stall: {stall_count} events "
+                                f"executed at t={event.time}us without the "
+                                "clock advancing"
+                            )
+                    else:
+                        stall_ts = event.time
+                        stall_count = 1
                 event.callback()
             if until_us is not None and self.now < until_us:
                 self.now = until_us

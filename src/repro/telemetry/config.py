@@ -31,9 +31,11 @@ __all__ = ["TelemetryConfig", "TRACE_CATEGORIES"]
 #: ``hw``      hardware-queue push/pop
 #: ``driver``  legacy-driver pulls from the qdisc
 #: ``tx``      one record per completed transmission on the medium
+#: ``fault``   fault-injection events (burst windows, interference,
+#:             rate crashes, station churn, watchdog verdicts)
 #: ``meta``    markers (measurement-window start); never filtered out
 TRACE_CATEGORIES = (
-    "queue", "codel", "agg", "sched", "hw", "driver", "tx", "meta",
+    "queue", "codel", "agg", "sched", "hw", "driver", "tx", "fault", "meta",
 )
 
 _LABEL_SANITISE = re.compile(r"[^A-Za-z0-9._-]+")

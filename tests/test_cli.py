@@ -22,8 +22,24 @@ def test_unknown_experiment_rejected(capsys):
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-        "table2", "fig11",
+        "table2", "fig11", "faults",
     }
+
+
+def test_faults_experiment_runs_scaled_down(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["faults", "--duration", "2", "--warmup", "0.5",
+                 "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "Fault tolerance" in out
+    assert "min Jain" in out
+
+
+def test_bad_fault_schedule_rejected(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"meteor_strike": []}')
+    assert main(["fig05", "--faults", str(path), "--no-cache"]) == 2
+    assert "fault schedule" in capsys.readouterr().err
 
 
 def test_single_experiment_runs_scaled_down(capsys):

@@ -48,3 +48,22 @@ class TestShapeChecks:
         ])
         assert "✓" in table and "✗" in table
         assert "claim A" in table
+
+
+class TestFailureSection:
+    def test_failures_section_renders_and_escapes(self):
+        from repro.experiments.report import _failures_section
+        from repro.runner import FailedResult, RunSpec, Runner
+        from repro.runner.executor import RunMetrics, RunResult
+
+        runner = Runner(jobs=1, cache=None)
+        spec = RunSpec.make("m:f", label="latency/FIFO", x=1)
+        failure = FailedResult(spec=spec, phase="timeout",
+                               error="exceeded | budget", attempts=2)
+        runner.history.append(
+            RunResult(spec, None, RunMetrics(0.0, 0), error=failure)
+        )
+        text = _failures_section(runner)
+        assert "latency/FIFO" in text
+        assert "timeout" in text
+        assert "exceeded \\| budget" in text  # pipes escaped for markdown

@@ -1,0 +1,226 @@
+"""Runner fault tolerance: failed workers, timeouts, and cache integrity.
+
+Helper functions live at module top level so pool workers (forked with
+this module already imported) can unpickle references to them.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.runner import FailedResult, ResultCache, RunSpec, Runner
+from repro.runner import executor as executor_mod
+
+
+def quick(value: int = 1) -> int:
+    return value * 2
+
+
+def boom() -> None:
+    raise ValueError("deterministic failure")
+
+
+def die(delay_s: float = 0.2) -> None:
+    time.sleep(delay_s)
+    os._exit(42)  # hard crash: no exception makes it back to the parent
+
+
+def sleep_for(seconds: float = 60.0) -> str:
+    time.sleep(seconds)
+    return "woke up"
+
+
+def _spec(fn: str, **kwargs) -> RunSpec:
+    return RunSpec.make(f"tests.test_runner_faults:{fn}", **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Failure phases: error / timeout / crash
+# ----------------------------------------------------------------------
+class TestFailurePhases:
+    def test_deterministic_error_not_retried(self):
+        runner = Runner(jobs=1, cache=None, retries=2)
+        results = runner.map([_spec("boom"), _spec("quick", value=3)])
+        assert not results[0].ok
+        failure = results[0].error
+        assert failure.phase == "error"
+        assert failure.attempts == 1  # same seed, same exception: no retry
+        assert "deterministic failure" in failure.error
+        assert "ValueError" in failure.traceback
+        assert results[1].ok and results[1].value == 6
+        assert runner.failures == [failure]
+
+    def test_error_in_pool_reports_without_killing_siblings(self):
+        runner = Runner(jobs=2, cache=None)
+        results = runner.map(
+            [_spec("quick", value=2), _spec("boom"), _spec("quick", value=4)]
+        )
+        assert [r.value for r in results] == [4, None, 8]
+        assert results[1].error.phase == "error"
+
+    def test_timeout_is_retried_then_reported(self):
+        runner = Runner(jobs=2, cache=None, timeout_s=0.3, retries=1)
+        results = runner.map(
+            [_spec("sleep_for", seconds=60.0), _spec("quick", value=5)]
+        )
+        failure = results[0].error
+        assert failure.phase == "timeout"
+        assert failure.attempts == 2  # first attempt + one retry
+        assert results[1].ok and results[1].value == 10
+
+    def test_crashed_worker_reported_with_surviving_siblings(self):
+        runner = Runner(jobs=2, cache=None, retries=0)
+        results = runner.map(
+            [_spec("quick", value=1), _spec("die"), _spec("quick", value=9)]
+        )
+        assert results[0].ok and results[0].value == 2
+        assert results[2].ok and results[2].value == 18
+        failure = results[1].error
+        assert failure.phase == "crash"
+        assert not results[1].ok
+
+    def test_run_values_yields_none_for_failures(self):
+        runner = Runner(jobs=1, cache=None)
+        values = runner.run_values([_spec("quick"), _spec("boom")])
+        assert values == [2, None]
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(jobs=1, cache=cache)
+        runner.map([_spec("boom")])
+        hit, _ = cache.get(_spec("boom"))
+        assert not hit
+
+    def test_describe(self):
+        failure = FailedResult(spec=_spec("boom"), phase="error",
+                               error="ValueError: nope")
+        assert "[error]" in failure.describe()
+        assert "ValueError: nope" in failure.describe()
+
+
+# ----------------------------------------------------------------------
+# Process-pool fallback: identical results and cache digests
+# ----------------------------------------------------------------------
+class TestPoolFallback:
+    def _specs(self):
+        from repro.mac.ap import Scheme
+
+        return [
+            RunSpec.make(
+                "repro.experiments.airtime_udp:run_scheme",
+                scheme=scheme, duration_s=0.4, warmup_s=0.2, seed=1,
+            )
+            for scheme in (Scheme.FIFO, Scheme.AIRTIME)
+        ]
+
+    def test_fallback_matches_pool_results_and_digests(
+        self, tmp_path, monkeypatch
+    ):
+        pool_cache = ResultCache(tmp_path / "pool")
+        pool_runner = Runner(jobs=2, cache=pool_cache)
+        pool_values = pool_runner.run_values(self._specs())
+        assert pool_runner.used_pool
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pools in this sandbox")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", broken_pool)
+        fallback_cache = ResultCache(tmp_path / "fallback")
+        fallback_runner = Runner(jobs=2, cache=fallback_cache)
+        fallback_values = fallback_runner.run_values(self._specs())
+        assert not fallback_runner.used_pool
+
+        assert pool_values == fallback_values
+        # Same digests: each cache directory holds the same entry names.
+        pool_entries = sorted(p.name for p in (tmp_path / "pool").glob("*.pkl"))
+        fb_entries = sorted(
+            p.name for p in (tmp_path / "fallback").glob("*.pkl")
+        )
+        assert pool_entries == fb_entries and len(pool_entries) == 2
+
+    def test_fallback_not_taken_when_a_spec_crashes_the_pool(self):
+        """A worker killed by its spec must NOT be re-run in-process
+        (re-running it would take down the main interpreter)."""
+        runner = Runner(jobs=2, cache=None, retries=0)
+        results = runner.map([_spec("die"), _spec("die", delay_s=0.3)])
+        assert runner.used_pool  # no in-process fallback happened
+        assert all(not r.ok for r in results)
+        assert all(r.error.phase == "crash" for r in results)
+
+
+# ----------------------------------------------------------------------
+# Cache integrity: checksums and quarantine
+# ----------------------------------------------------------------------
+class TestCacheQuarantine:
+    def test_corrupt_entry_quarantined_with_warning(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        # A CLI test may have run configure_logging(), which detaches the
+        # "repro" tree from the root logger; restore propagation so
+        # caplog (rooted) can see the cache warning.
+        logger = logging.getLogger("repro")
+        monkeypatch.setattr(logger, "propagate", True)
+        monkeypatch.setattr(logger, "handlers", [])
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=7)
+        cache.put(spec, 14)
+        path = cache.path_for(spec)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # flip a bit mid-payload
+        path.write_bytes(bytes(raw))
+
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            hit, _ = cache.get(spec)
+        assert not hit
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.exists()
+        assert any("checksum" in r.message for r in caplog.records)
+
+    def test_quarantined_entry_never_reloads_and_put_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=7)
+        cache.put(spec, 14)
+        cache.path_for(spec).write_bytes(b"\x80\x04garbage")
+        hit, _ = cache.get(spec)
+        assert not hit
+        # A rewrite restores normal service alongside the quarantined file.
+        cache.put(spec, 14)
+        hit, payload = cache.get(spec)
+        assert hit and payload["value"] == 14
+
+    def test_legacy_format_is_plain_miss_without_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=7)
+        legacy = {"version": cache.version, "value": 14}
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path_for(spec).write_bytes(pickle.dumps(legacy))
+        hit, _ = cache.get(spec)
+        assert not hit
+        assert cache.quarantined == 0
+        assert cache.path_for(spec).exists()  # left in place for put()
+
+    def test_checksum_survives_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=3)
+        cache.put(spec, {"nested": [1, 2, 3]})
+        hit, payload = cache.get(spec)
+        assert hit and payload["value"] == {"nested": [1, 2, 3]}
+        assert cache.quarantined == 0
+
+    def test_clear_removes_quarantined_entries_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=7)
+        cache.put(spec, 14)
+        path = cache.path_for(spec)
+        path.write_bytes(b"junk that is definitely not an envelope")
+        cache.get(spec)  # quarantines
+        cache.put(spec, 14)  # fresh entry next to the quarantined one
+        assert cache.clear() == 2
+        assert not list(cache.root.glob("*"))

@@ -13,11 +13,22 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import airtime_udp
+from repro.faults import BurstLoss, Churn, FaultSchedule, Interference, RateCrash
 from repro.mac.ap import Scheme
 from repro.runner import ResultCache, Runner
 from repro.telemetry import TelemetryConfig
 
 SCHEMES = (Scheme.FIFO, Scheme.AIRTIME)
+
+#: Every fault type at sub-second scale, inside the measurement window.
+IMPAIRMENTS = FaultSchedule(
+    burst_loss=(BurstLoss(station=2, start_s=0.35, end_s=0.55,
+                          mean_good_s=0.05, mean_bad_s=0.02),),
+    interference=(Interference(start_s=0.45, end_s=0.55),),
+    rate_crash=(RateCrash(station=0, start_s=0.4, end_s=0.6,
+                          max_reliable_mcs=1),),
+    churn=(Churn(station=1, detach_s=0.55, reattach_s=0.7, mode="flush"),),
+)
 
 
 def _specs(out_dir: Path):
@@ -80,6 +91,49 @@ def test_cached_run_replays_fresh_telemetry_summary(tmp_path):
     for a, b in zip(fresh, cached):
         assert a.telemetry == b.telemetry
         assert a.airtime_shares == b.airtime_shares
+
+
+def _impaired_specs(out_dir: Path):
+    """Traced, fault-injected, strict specs (category ``fault`` included)."""
+    telemetry = TelemetryConfig(trace_path=str(out_dir),
+                                metrics_path=str(out_dir))
+    return airtime_udp.specs(SCHEMES, duration_s=0.6, warmup_s=0.3,
+                             telemetry=telemetry, faults=IMPAIRMENTS,
+                             strict=True)
+
+
+def test_impaired_run_deterministic_serial_parallel_cached(tmp_path):
+    """Fault injection must not weaken the bit-identical contract: the
+    same impaired spec produces byte-identical traces serial vs parallel,
+    and a cached replay returns the identical result."""
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    cache = ResultCache(root=str(tmp_path / "cache"))
+
+    serial = Runner(jobs=1, cache=cache).run_values(_impaired_specs(serial_dir))
+    parallel = Runner(jobs=2, cache=None).run_values(
+        _impaired_specs(parallel_dir)
+    )
+
+    serial_traces = _trace_texts(serial_dir)
+    parallel_traces = _trace_texts(parallel_dir)
+    assert serial_traces and set(serial_traces) == set(parallel_traces)
+    for name in serial_traces:
+        assert serial_traces[name] == parallel_traces[name], name
+    # The impairments actually fired and were traced.
+    assert any('"category": "fault"' in text or '"fault"' in text
+               for text in serial_traces.values())
+
+    for a, b in zip(serial, parallel):
+        assert a.airtime_shares == b.airtime_shares
+        assert a.conservation == b.conservation and a.conservation.ok
+        assert a.fault_summary == b.fault_summary
+        assert a.fault_summary["detaches"] == 1
+
+    cached = Runner(jobs=1, cache=cache).run_values(_impaired_specs(serial_dir))
+    assert cache.hits == len(SCHEMES)
+    for a, b in zip(serial, cached):
+        assert a == b
 
 
 def test_traced_and_untraced_runs_use_distinct_cache_entries(tmp_path):
