@@ -105,6 +105,43 @@ def bench_single_run(duration_s: float = 3.0) -> dict:
     }
 
 
+def bench_telemetry_overhead(duration_s: float = 2.0) -> dict:
+    """Cost of full observability: the same run untraced vs traced with
+    span reconstruction and the airtime ledger enabled."""
+    from repro.telemetry import TelemetryConfig
+
+    def one(label: str, telemetry) -> "RunMetrics":
+        spec = RunSpec.make(
+            "repro.experiments.airtime_udp:run_scheme",
+            label=label,
+            scheme=Scheme.FIFO,
+            duration_s=duration_s,
+            warmup_s=0.5,
+            seed=1,
+            telemetry=telemetry,
+        )
+        return Runner(jobs=1, cache=None).map([spec])[0].metrics
+
+    base = one("speed/untraced", None)
+    traced = one("speed/traced", TelemetryConfig(
+        trace=True,
+        categories=("queue", "agg", "hw", "driver", "tx"),
+        spans=True,
+        ledger=True,
+    ))
+    overhead = (
+        base.events_per_sec / traced.events_per_sec - 1.0
+        if traced.events_per_sec else 0.0
+    )
+    return {
+        "scenario": "airtime_udp/FIFO",
+        "sim_duration_s": duration_s,
+        "untraced_events_per_sec": round(base.events_per_sec),
+        "traced_spans_ledger_events_per_sec": round(traced.events_per_sec),
+        "overhead_pct": round(overhead * 100.0, 1),
+    }
+
+
 def bench_report(scale: float, jobs: int) -> dict:
     """Scaled-down report wall time, serial vs parallel (no cache)."""
     start = time.perf_counter()
@@ -154,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
     single = bench_single_run()
     print(f"  {single['events_per_sec']:,} events/sec "
           f"({single['events']:,} events in {single['wall_s']}s)")
+    print("workload: tracing + spans + ledger overhead ...", flush=True)
+    overhead = bench_telemetry_overhead()
+    print(f"  {overhead['untraced_events_per_sec']:,} -> "
+          f"{overhead['traced_spans_ledger_events_per_sec']:,} events/sec "
+          f"({overhead['overhead_pct']}% overhead)")
 
     report: dict | None = None
     if not args.skip_report:
@@ -176,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
             "cancel_heavy_rounds_per_sec": round(cancel_eps),
         },
         "single_run": single,
+        "telemetry_overhead": overhead,
         "report": report,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

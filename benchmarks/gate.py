@@ -1,0 +1,99 @@
+"""Latency/airtime regression gate over recorded traces.
+
+Compares a candidate trace (or directory of traces) against a baseline:
+per-station mean/P95 latency attribution per segment (via
+:mod:`repro.analysis.attribution`) and per-station airtime shares (via
+the trace summariser).  Exits non-zero when any configured threshold is
+breached, so CI can pin the latency waterfall the same way it pins the
+experiment tables::
+
+    PYTHONPATH=src python benchmarks/gate.py baseline/ candidate/ \
+        [--threshold-pct 25] [--min-us 500] [--share-threshold 0.05]
+
+Directories are matched by file name: every ``*.trace.jsonl`` in the
+baseline must exist in the candidate.  Exit codes: 0 ok, 2 usage /
+missing files, 4 threshold breach.
+
+This file intentionally defines no pytest cases: it is a gate driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.analysis.attribution import (
+    attribute_file,
+    diff_airtime_shares,
+    diff_attributions,
+)
+from repro.telemetry import summarize_file
+
+
+def _pairs(old: str, new: str) -> List[Tuple[Path, Path]]:
+    """Resolve the (baseline, candidate) file pairs to compare."""
+    old_path, new_path = Path(old), Path(new)
+    if old_path.is_file():
+        return [(old_path, new_path)]
+    pairs = []
+    for baseline in sorted(old_path.glob("*.trace.jsonl")):
+        candidate = new_path / baseline.name
+        pairs.append((baseline, candidate))
+    return pairs
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline trace file or directory")
+    parser.add_argument("new", help="candidate trace file or directory")
+    parser.add_argument("--threshold-pct", type=float, default=25.0,
+                        help="max per-station mean/P95 latency change per "
+                             "segment (default 25%%)")
+    parser.add_argument("--min-us", type=float, default=500.0,
+                        help="noise floor for relative latency changes "
+                             "(default 500 µs)")
+    parser.add_argument("--share-threshold", type=float, default=0.05,
+                        help="max absolute airtime-share change "
+                             "(default 0.05)")
+    args = parser.parse_args(argv)
+
+    pairs = _pairs(args.old, args.new)
+    if not pairs:
+        print(f"gate: no *.trace.jsonl files under {args.old}",
+              file=sys.stderr)
+        return 2
+
+    total_breaches = 0
+    for baseline, candidate in pairs:
+        if not candidate.is_file():
+            print(f"gate: candidate trace missing: {candidate}",
+                  file=sys.stderr)
+            return 2
+        breaches = diff_attributions(
+            attribute_file(str(baseline)), attribute_file(str(candidate)),
+            threshold_pct=args.threshold_pct, min_us=args.min_us,
+        )
+        breaches += diff_airtime_shares(
+            summarize_file(str(baseline)).airtime_shares(),
+            summarize_file(str(candidate)).airtime_shares(),
+            threshold=args.share_threshold,
+        )
+        if breaches:
+            total_breaches += len(breaches)
+            print(f"REGRESSION {candidate.name} vs {baseline}:")
+            for breach in breaches:
+                print(f"  {breach}")
+        else:
+            print(f"ok {candidate.name}")
+    if total_breaches:
+        print(f"gate: {total_breaches} threshold breach(es) "
+              f"across {len(pairs)} trace(s)")
+        return 4
+    print(f"gate: all {len(pairs)} trace(s) within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -167,8 +167,8 @@ class MacFqStructure:
         if self._tr_queue is not None:
             self._tr_queue.emit(
                 pkt.enqueue_us, "enqueue", layer=self._layer,
-                station=tid.station, flow=pkt.flow_id, q=queue.index,
-                backlog=self.backlog_packets,
+                station=tid.station, flow=pkt.flow_id, pid=pkt.pid,
+                q=queue.index, backlog=self.backlog_packets,
             )
 
         if queue.membership is None:
@@ -261,7 +261,8 @@ class MacFqStructure:
             if self._tr_queue is not None:
                 self._tr_queue.emit(
                     now, "dequeue", layer=self._layer, station=tid.station,
-                    q=queue.index, sojourn_us=now - pkt.enqueue_us,
+                    pid=pkt.pid, q=queue.index,
+                    sojourn_us=now - pkt.enqueue_us,
                 )
             if self._sojourn_hist is not None:
                 self._sojourn_hist.observe(now - pkt.enqueue_us)

@@ -15,6 +15,7 @@ from typing import Any, Optional
 __all__ = [
     "AccessCategory",
     "Packet",
+    "agg_seq_allocator",
     "flow_id_allocator",
     "reset_packet_counters",
 ]
@@ -41,20 +42,33 @@ class AccessCategory(IntEnum):
 
 _pid_counter = itertools.count(1)
 _flow_counter = itertools.count(1)
+_agg_counter = itertools.count(1)
 
 
 def reset_packet_counters() -> None:
-    """Restart pid/flow-id allocation from 1.
+    """Restart pid/flow-id/aggregate-seq allocation from 1.
 
-    Packet and flow ids are process-global, so a testbed built after
-    previous runs in the same process would number its packets differently
-    from one built in a fresh pool worker.  Results never depend on the
-    absolute ids, but trace records carry them — resetting at testbed
-    construction makes serial and parallel runs emit identical traces.
+    Packet, flow and aggregate ids are process-global, so a testbed built
+    after previous runs in the same process would number its packets
+    differently from one built in a fresh pool worker.  Results never
+    depend on the absolute ids, but trace records carry them — resetting
+    at testbed construction makes serial and parallel runs emit identical
+    traces.
     """
-    global _pid_counter, _flow_counter
+    global _pid_counter, _flow_counter, _agg_counter
     _pid_counter = itertools.count(1)
     _flow_counter = itertools.count(1)
+    _agg_counter = itertools.count(1)
+
+
+def agg_seq_allocator() -> int:
+    """Allocate a process-unique aggregate sequence number.
+
+    Aggregate seqs join hw/tx trace records back to the per-packet queue
+    records (span reconstruction) without listing every pid on every
+    record.
+    """
+    return next(_agg_counter)
 
 
 def flow_id_allocator() -> int:

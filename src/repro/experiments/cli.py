@@ -167,7 +167,7 @@ FAULTABLE = {"fig05", "faults"}
 # `trace` subcommands
 # ----------------------------------------------------------------------
 def _trace_main(argv: list[str]) -> int:
-    """``repro trace summarize FILE...`` — render trace files as tables."""
+    """``repro trace {summarize,spans,waterfall,diff}`` — trace analysis."""
     parser = argparse.ArgumentParser(
         prog="repro trace",
         description="Inspect JSONL trace files written by --trace.",
@@ -178,11 +178,54 @@ def _trace_main(argv: list[str]) -> int:
     )
     summarize.add_argument("files", nargs="+", metavar="FILE",
                            help="JSONL trace file(s) written by --trace")
+    spans_p = sub.add_parser(
+        "spans",
+        help="reconstruct per-packet lifecycle spans and report join health",
+    )
+    spans_p.add_argument("files", nargs="+", metavar="FILE")
+    spans_p.add_argument("--check", action="store_true",
+                         help="exit non-zero if any record fails to join "
+                              "into a span (unmatched > 0)")
+    waterfall = sub.add_parser(
+        "waterfall",
+        help="latency-attribution waterfall (which layer added the delay)",
+    )
+    waterfall.add_argument("files", nargs="+", metavar="FILE")
+    waterfall.add_argument("--plot", default=None, metavar="OUT",
+                           help="also write the rendered waterfall to OUT")
+    diff = sub.add_parser(
+        "diff",
+        help="regression-compare two traces (latency waterfall + airtime "
+             "shares); exit 4 on a threshold breach",
+    )
+    diff.add_argument("old", metavar="OLD", help="baseline trace file")
+    diff.add_argument("new", metavar="NEW", help="candidate trace file")
+    diff.add_argument("--threshold-pct", type=float, default=25.0,
+                      help="max per-station mean/P95 change per segment "
+                           "(default 25%%)")
+    diff.add_argument("--min-us", type=float, default=500.0,
+                      help="noise floor: durations below this are clamped "
+                           "before the relative change (default 500)")
+    diff.add_argument("--share-threshold", type=float, default=0.05,
+                      help="max absolute airtime-share change (default 0.05)")
     args = parser.parse_args(argv)
 
     configure_logging()
+    if args.command == "summarize":
+        return _trace_summarize(args.files)
+    if args.command == "spans":
+        return _trace_spans(args.files, check=args.check)
+    if args.command == "waterfall":
+        return _trace_waterfall(args.files, plot=args.plot)
+    return _trace_diff(args.old, args.new,
+                       threshold_pct=args.threshold_pct,
+                       min_us=args.min_us,
+                       share_threshold=args.share_threshold)
+
+
+def _trace_summarize(files: list[str]) -> int:
     status = 0
-    for path in args.files:
+    for path in files:
         try:
             summary = summarize_file(path)
         except (OSError, ValueError) as exc:
@@ -193,10 +236,96 @@ def _trace_main(argv: list[str]) -> int:
     return status
 
 
+def _trace_spans(files: list[str], check: bool = False) -> int:
+    """Reconstruct spans per file; ``--check`` gates on join health."""
+    from repro.analysis.attribution import attribute_file
+
+    status = 0
+    for path in files:
+        try:
+            attribution = attribute_file(path)
+        except (OSError, ValueError, KeyError) as exc:
+            log.error("cannot reconstruct spans from %s: %s", path, exc)
+            status = 1
+            continue
+        scope = ("measurement window" if attribution.windowed
+                 else "whole trace")
+        print(f"# {path}")
+        print(f"  {attribution.delivered} delivered, "
+              f"{attribution.dropped} dropped, "
+              f"{attribution.open_spans} still queued ({scope})")
+        print(f"  unmatched joins: {attribution.unmatched}, "
+              f"pre-enqueue drops: {attribution.pre_enqueue_drops}")
+        if check and attribution.unmatched:
+            log.error("%s: %d records failed to join into spans",
+                      path, attribution.unmatched)
+            status = 1
+    return status
+
+
+def _trace_waterfall(files: list[str], plot: str | None = None) -> int:
+    from repro.analysis.attribution import attribute_file, format_waterfall
+
+    status = 0
+    rendered: list[str] = []
+    for path in files:
+        try:
+            attribution = attribute_file(path)
+        except (OSError, ValueError, KeyError) as exc:
+            log.error("cannot build waterfall from %s: %s", path, exc)
+            status = 1
+            continue
+        rendered.append(format_waterfall(attribution, title=path))
+    output = "\n\n".join(rendered)
+    if output:
+        print(output)
+    if plot is not None and rendered:
+        with open(plot, "w") as handle:
+            handle.write(output + "\n")
+        log.info("wrote waterfall to %s", plot)
+    return status
+
+
+def _trace_diff(old_path: str, new_path: str, threshold_pct: float,
+                min_us: float, share_threshold: float) -> int:
+    """Regression gate: exit 4 when the candidate trace drifted."""
+    from repro.analysis.attribution import (
+        attribute_file,
+        diff_airtime_shares,
+        diff_attributions,
+    )
+
+    try:
+        old_attr = attribute_file(old_path)
+        new_attr = attribute_file(new_path)
+        old_shares = summarize_file(old_path).airtime_shares()
+        new_shares = summarize_file(new_path).airtime_shares()
+    except (OSError, ValueError, KeyError) as exc:
+        log.error("cannot diff traces: %s", exc)
+        return 1
+    breaches = diff_attributions(old_attr, new_attr,
+                                 threshold_pct=threshold_pct,
+                                 min_us=min_us)
+    breaches += diff_airtime_shares(old_shares, new_shares,
+                                    threshold=share_threshold)
+    if breaches:
+        print(f"REGRESSION: {len(breaches)} threshold breach(es) "
+              f"comparing {new_path} against {old_path}:")
+        for breach in breaches:
+            print(f"  {breach}")
+        return 4
+    print(f"ok: {new_path} matches {old_path} within thresholds "
+          f"(±{threshold_pct:g}% latency, ±{share_threshold:g} share)")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
-    if args.trace is None and args.metrics_out is None:
+    if (args.trace is None and args.metrics_out is None
+            and not args.spans and not args.ledger):
         return None
+    if args.spans and args.trace is None:
+        raise ValueError("--spans needs a trace to stitch; add --trace DIR")
     categories: tuple = ()
     if args.trace_categories:
         categories = tuple(
@@ -206,6 +335,8 @@ def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
         trace_path=args.trace,
         categories=categories,
         metrics_path=args.metrics_out,
+        spans=args.spans,
+        ledger=args.ledger,
     )
 
 
@@ -221,9 +352,11 @@ def _failure_table(failures: list[FailedResult]) -> str:
     return "\n".join(lines)
 
 
-def _run_cost_table(history: list[RunResult]) -> str:
+def _run_cost_table(history: list[RunResult], mode: str = "") -> str:
     """Per-run cost table (wall time, events/sec, peak heap) for --profile."""
     lines = ["Run cost (per spec)"]
+    if mode:
+        lines.append(f"execution mode: {mode}")
     lines.append(f"{'label':<28} {'wall s':>8} {'events':>12} "
                  f"{'ev/s':>10} {'peak heap':>10} {'cached':>6}")
     for result in history:
@@ -273,6 +406,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="DIR",
                         help="write per-run metrics JSON (counters, "
                              "histograms, sampled time series) under DIR")
+    parser.add_argument("--spans", action="store_true",
+                        help="reconstruct per-packet lifecycle spans at the "
+                             "end of each traced run (requires --trace)")
+    parser.add_argument("--ledger", action="store_true",
+                        help="keep the per-station airtime ledger and audit "
+                             "it against the analytical model at teardown "
+                             "(with --strict, divergence aborts the run)")
     parser.add_argument("--profile", action="store_true",
                         help="record per-run peak heap and print a "
                              "run-cost table")
@@ -324,7 +464,8 @@ def main(argv: list[str] | None = None) -> int:
     runner = Runner(jobs=jobs,
                     cache=None if args.no_cache else ResultCache(),
                     profile=args.profile,
-                    timeout_s=args.run_timeout)
+                    timeout_s=args.run_timeout,
+                    auto_serial=True)
 
     broken_tables = 0
     for name in names:
@@ -363,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
                  telemetry.trace_path)
     if args.profile and runner.history:
         print()
-        print(_run_cost_table(runner.history))
+        print(_run_cost_table(runner.history, mode=runner.execution_mode))
     failures = runner.failures
     if failures:
         print()

@@ -124,10 +124,14 @@ class Testbed:
                         rec.start_us + rec.airtime_us, "tx",
                         station=rec.station, airtime_us=rec.airtime_us,
                         tx_us=rec.tx_time_us, down=rec.downlink,
-                        n_pkts=rec.n_packets, bytes=rec.payload_bytes,
-                        ac=rec.ac.name, ok=rec.success, retries=rec.retries,
+                        agg=rec.agg_seq, n_pkts=rec.n_packets,
+                        bytes=rec.payload_bytes, ac=rec.ac.name,
+                        ok=rec.success, retries=rec.retries,
                     )
                 self.medium.add_observer(on_tx)
+            if self.telemetry.ledger is not None:
+                self.medium.add_observer(self.telemetry.ledger.on_transmission)
+                self.ap.set_ledger(self.telemetry.ledger)
             if self.telemetry.metrics is not None:
                 self.sampler = PeriodicSampler(
                     self.sim, self.telemetry.metrics,
@@ -199,11 +203,20 @@ class Testbed:
         Returns the measurement window length in µs (the divisor for
         throughput computations).
         """
+        ledger = self.telemetry.ledger if self.telemetry is not None else None
         if warmup_s > 0:
             self.sim.run(until_us=self.sim.sec(warmup_s))
             self.tracker.reset()
             for reset in self.warmup_resets:
                 reset()
+            if ledger is not None:
+                # The ledger windows exactly like the AirtimeTracker:
+                # warm-up traffic is discarded, and the busy/collision
+                # baselines anchor the conservation check.
+                ledger.reset(
+                    busy_baseline_us=self.medium.busy_time_us,
+                    collision_baseline=self.medium.collision_count,
+                )
         if self.telemetry is not None:
             # Everything after this marker is the measurement window; the
             # trace summariser windows its airtime table here, exactly
@@ -225,6 +238,24 @@ class Testbed:
                     )
             if self.options.strict and not self.conservation.ok:
                 raise InvariantViolation(self.conservation.describe())
+        if ledger is not None:
+            audit = ledger.audit(
+                rates={s: st.rate for s, st in self.stations.items()},
+                airtime_fairness=self.options.scheme is Scheme.AIRTIME,
+                tolerance=self.options.telemetry.ledger_tolerance,
+                medium_busy_us=self.medium.busy_time_us,
+                collision_count=self.medium.collision_count,
+            )
+            self.telemetry.ledger_audit = audit
+            channel = self.telemetry.channel("fault")
+            if channel is not None:
+                channel.emit(
+                    self.sim.now, "ledger_audit", ok=audit.ok,
+                    worst_delta=audit.worst_delta,
+                    model_checked=audit.model_checked,
+                )
+            if self.options.strict and not audit.ok:
+                raise InvariantViolation(audit.describe())
         return self.sim.now - start
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.core.packet import AccessCategory, Packet
+from repro.core.packet import AccessCategory, Packet, agg_seq_allocator
 from repro.phy.constants import (
     MAX_AMPDU_BYTES,
     MAX_AMPDU_SUBFRAMES,
@@ -92,6 +92,8 @@ class Aggregate:
     packets: List[Packet] = field(default_factory=list)
     retries: int = 0
     mpdu_payload_sizes: Optional[List[int]] = None
+    #: Process-unique id joining hw/tx trace records to this aggregate.
+    seq: int = field(default_factory=agg_seq_allocator)
 
     @property
     def n_packets(self) -> int:

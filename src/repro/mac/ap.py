@@ -171,6 +171,9 @@ class AccessPoint:
         # Telemetry (None when disabled; see set_trace).
         self._telemetry = None
         self._tr_agg = None
+        self._tr_queue = None
+        #: Airtime ledger (None when disabled; see set_ledger).
+        self._ledger = None
 
         #: Per-station Minstrel controllers (rate-control extension).
         self._rate_controllers: Dict[int, object] = {}
@@ -242,19 +245,29 @@ class AccessPoint:
         self._hw.set_trace(trace, now_fn=now_fn)
         if trace is not None:
             queue_channel = trace.channel("queue")
+            self._tr_queue = queue_channel
             if queue_channel is not None:
                 def on_drop(pkt: Packet, layer: str, reason: str) -> None:
                     station = (pkt.dst_station if pkt.dst_station is not None
                                else pkt.src_station)
                     queue_channel.emit(
                         self.sim.now, "drop", layer=layer, reason=reason,
-                        station=station, flow=pkt.flow_id,
+                        station=station, flow=pkt.flow_id, pid=pkt.pid,
                     )
                 self.drops.add_observer(on_drop)
         if metrics is not None:
             def count_drop(pkt: Packet, layer: str, reason: str) -> None:
                 metrics.counter(f"drops_{layer}_{reason}").inc()
             self.drops.add_observer(count_drop)
+
+    def set_ledger(self, ledger) -> None:
+        """Attach an :class:`repro.telemetry.ledger.AirtimeLedger`.
+
+        The ledger's primary accumulation is a medium observer; the AP
+        additionally charges its own TX/RX completions so the two books
+        can be cross-checked (double-entry accounting).
+        """
+        self._ledger = ledger
 
     # ------------------------------------------------------------------
     # Downstream entry (from the wired network)
@@ -297,6 +310,11 @@ class AccessPoint:
             queue = self._vo_queues.setdefault(station, deque())
             pkt.enqueue_us = self.sim.now
             queue.append(pkt)
+            if self._tr_queue is not None:
+                self._tr_queue.emit(
+                    pkt.enqueue_us, "enqueue", layer="vo", station=station,
+                    flow=pkt.flow_id, pid=pkt.pid, backlog=len(queue),
+                )
         if station not in self._vo_ring:
             self._vo_ring.append(station)
 
@@ -306,7 +324,13 @@ class AccessPoint:
         queue = self._vo_queues.get(station)
         if not queue:
             return None
-        return queue.popleft()
+        pkt = queue.popleft()
+        if self._tr_queue is not None:
+            self._tr_queue.emit(
+                self.sim.now, "dequeue", layer="vo", station=station,
+                pid=pkt.pid, sojourn_us=self.sim.now - pkt.enqueue_us,
+            )
+        return pkt
 
     def _vo_backlog(self, station: int) -> int:
         if self.mac_fq is not None:
@@ -363,6 +387,7 @@ class AccessPoint:
         if self._tr_agg is not None:
             self._tr_agg.emit(
                 self.sim.now, "built", station=station, ac=ac.name,
+                agg=agg.seq, pids=[p.pid for p in agg.packets],
                 n_pkts=agg.n_packets, bytes=agg.payload_bytes,
                 airtime_us=agg.duration_us,
             )
@@ -395,6 +420,13 @@ class AccessPoint:
                 rate=self.rate_for(station),
                 packets=[pkt],
             )
+            if self._tr_agg is not None:
+                self._tr_agg.emit(
+                    self.sim.now, "built", station=station,
+                    ac=AccessCategory.VO.name, agg=agg.seq, pids=[pkt.pid],
+                    n_pkts=1, bytes=agg.payload_bytes,
+                    airtime_us=agg.duration_us,
+                )
             self._hw.push(agg)
             if self._vo_backlog(station) == 0:
                 self._vo_ring.popleft()
@@ -432,11 +464,13 @@ class AccessPoint:
             self.codel_tuner.update_rate(
                 agg.station, controller.best_rate().bps, self.sim.now
             )
+        if self._ledger is not None:
+            self._ledger.charge_ap_tx(agg.station, agg.duration_us, success)
         if self._tr_agg is not None:
             self._tr_agg.emit(
                 self.sim.now, "tx_done", station=agg.station,
-                ac=agg.ac.name, n_pkts=agg.n_packets, ok=success,
-                retries=agg.retries,
+                ac=agg.ac.name, agg=agg.seq, n_pkts=agg.n_packets,
+                ok=success, retries=agg.retries,
             )
         if success:
             self.stations[agg.station].receive_from_ap(agg)
@@ -532,6 +566,8 @@ class AccessPoint:
     def receive_uplink(self, agg: Aggregate) -> None:
         """Receive an uplink aggregate; forward its packets to the wire."""
         self.scheduler.report_rx_airtime(agg.station, agg.duration_us)
+        if self._ledger is not None:
+            self._ledger.charge_ap_rx(agg.station, agg.duration_us)
         if self.network is not None:
             for pkt in agg.packets:
                 self.network.to_server(pkt)

@@ -91,7 +91,15 @@ class LegacyDriver:
         if not queue:
             return None
         self.backlog -= 1
-        return queue.popleft()
+        pkt = queue.popleft()
+        if self._tr_driver is not None:
+            # Per-packet record: span reconstruction measures the driver
+            # FIFO wait as t(driver dequeue) - t(qdisc dequeue).
+            self._tr_driver.emit(
+                self._now() if self._now is not None else 0.0, "dequeue",
+                station=station, pid=pkt.pid,
+            )
+        return pkt
 
     def station_backlog(self, station: int, ac: AccessCategory) -> int:
         queue = self._queues.get((station, ac))

@@ -87,7 +87,7 @@ class HardwareQueue:
         if self._tr_hw is not None:
             self._tr_hw.emit(
                 self._now() if self._now is not None else 0.0, "push",
-                ac=agg.ac.name, station=agg.station,
+                ac=agg.ac.name, station=agg.station, agg=agg.seq,
                 n_pkts=len(agg.packets), depth=len(self._queues[agg.ac]),
             )
 
@@ -119,7 +119,7 @@ class HardwareQueue:
                 if self._tr_hw is not None:
                     self._tr_hw.emit(
                         self._now() if self._now is not None else 0.0, "pop",
-                        ac=ac.name, station=agg.station,
+                        ac=ac.name, station=agg.station, agg=agg.seq,
                         depth=len(queue),
                     )
                 return agg

@@ -82,6 +82,8 @@ class TransmissionRecord:
     ac: AccessCategory
     success: bool
     retries: int
+    #: Aggregate sequence id (joins trace records across layers).
+    agg_seq: int = -1
 
 
 Observer = Callable[[TransmissionRecord], None]
@@ -260,6 +262,7 @@ class Medium:
                 ac=agg.ac,
                 success=False,
                 retries=agg.retries,
+                agg_seq=agg.seq,
             )
             contender.txop_complete(agg, False)
             for observer in self._observers:
@@ -299,6 +302,7 @@ class Medium:
             ac=agg.ac,
             success=success,
             retries=agg.retries,
+            agg_seq=agg.seq,
         )
         self.busy_time_us += record.airtime_us
         self._busy = False

@@ -43,7 +43,7 @@ class PfifoQdisc(Qdisc):
         if self._tr_queue is not None:
             self._tr_queue.emit(
                 self._trace_now(), "enqueue", layer="qdisc",
-                station=pkt.dst_station, flow=pkt.flow_id,
+                station=pkt.dst_station, flow=pkt.flow_id, pid=pkt.pid,
                 backlog=self.backlog_packets,
             )
         return True
@@ -58,7 +58,7 @@ class PfifoQdisc(Qdisc):
             if self._tr_queue is not None:
                 self._tr_queue.emit(
                     now, "dequeue", layer="qdisc", station=pkt.dst_station,
-                    sojourn_us=now - pkt.enqueue_us,
+                    pid=pkt.pid, sojourn_us=now - pkt.enqueue_us,
                 )
             if self._sojourn_hist is not None:
                 self._sojourn_hist.observe(now - pkt.enqueue_us)

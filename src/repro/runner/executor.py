@@ -170,6 +170,14 @@ class Runner:
         How many times a timed-out or crashed run is retried (in a
         fresh pool) before its :class:`FailedResult` is final.  Runs
         that *raise* are never retried — same seed, same exception.
+    auto_serial:
+        When True and ``jobs`` exceeds the machine's CPU count, fall
+        back to serial in-process execution instead of oversubscribing:
+        on a CPU-bound workload extra workers only add pool overhead
+        (BENCH_speed.json measured 0.88x with jobs=2 on one core).  The
+        fallback is skipped when ``timeout_s`` is set, because only the
+        pool path can enforce the budget.  The original request stays
+        visible as :attr:`requested_jobs`.
     """
 
     jobs: Optional[int] = None
@@ -178,6 +186,9 @@ class Runner:
     profile: bool = False
     timeout_s: Optional[float] = None
     retries: int = 1
+    auto_serial: bool = False
+    #: The job count asked for, before any auto-serial fallback.
+    requested_jobs: int = field(default=0, init=False)
     #: Set after each map(): True when the last batch used the pool.
     used_pool: bool = field(default=False, init=False)
     #: Every RunResult produced by this runner, across all map() calls —
@@ -191,8 +202,30 @@ class Runner:
             self.jobs = default_jobs()
         self.jobs = max(1, int(self.jobs))
         self.retries = max(0, int(self.retries))
+        self.requested_jobs = self.jobs
+        cpus = os.cpu_count() or 1
+        if (self.auto_serial and self.jobs > cpus
+                and self.timeout_s is None):
+            log.warning(
+                "jobs=%d exceeds the %d available CPU(s); "
+                "oversubscribed pools run slower than serial on this "
+                "workload — falling back to in-process execution",
+                self.jobs, cpus,
+            )
+            self.jobs = 1
 
     # ------------------------------------------------------------------
+    @property
+    def execution_mode(self) -> str:
+        """How this runner executes: 'parallel', 'serial', or
+        'serial (auto)' when the CPU-count fallback demoted a parallel
+        request."""
+        if self.jobs > 1:
+            return "parallel"
+        if self.requested_jobs > 1:
+            return "serial (auto)"
+        return "serial"
+
     @property
     def failures(self) -> List[FailedResult]:
         """Post-mortems of every failed run this runner has seen."""

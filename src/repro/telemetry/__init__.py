@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.telemetry.config import TRACE_CATEGORIES, TelemetryConfig
+from repro.telemetry.ledger import AirtimeLedger, LedgerAudit
 from repro.telemetry.logutil import configure_logging, get_logger
 from repro.telemetry.metrics import (
     Counter,
@@ -49,9 +50,11 @@ from repro.telemetry.trace import TraceBus, TraceChannel, load_trace
 
 __all__ = [
     "TRACE_CATEGORIES",
+    "AirtimeLedger",
     "Counter",
     "Gauge",
     "Histogram",
+    "LedgerAudit",
     "MetricsRegistry",
     "PeriodicSampler",
     "RunProfiler",
@@ -87,6 +90,11 @@ class Telemetry:
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if config.metrics_enabled else None
         )
+        self.ledger: Optional[AirtimeLedger] = (
+            AirtimeLedger() if config.ledger else None
+        )
+        #: Set by the testbed teardown when the ledger audit has run.
+        self.ledger_audit: Optional[LedgerAudit] = None
 
     # ------------------------------------------------------------------
     def channel(self, category: str):
@@ -125,6 +133,19 @@ class Telemetry:
                 summary["trace_path"] = str(
                     self.trace.write_jsonl(self.config.trace_path)
                 )
+            if self.config.spans:
+                # Lazy import: analysis.attribution imports telemetry.spans,
+                # keeping the package dependency one-way at module load.
+                from repro.analysis.attribution import attribute_records
+
+                attribution = attribute_records(self.trace.records)
+                summary["spans"] = attribution.to_dict()
+        if self.ledger is not None:
+            summary["ledger"] = {
+                "stations": self.ledger.to_dict(),
+                "audit": (self.ledger_audit.to_dict()
+                          if self.ledger_audit is not None else None),
+            }
         if self.metrics is not None:
             summary["metrics"] = self.metrics.snapshot()
             if self.config.metrics_path is not None:

@@ -64,6 +64,17 @@ class TelemetryConfig:
         Setting it implies ``metrics``; a directory in fan-outs.
     sample_interval_ms:
         Periodic sampler interval (simulated milliseconds).
+    spans:
+        Reconstruct per-packet lifecycle spans from the trace at the end
+        of the run and fold the latency-attribution summary into the
+        run's telemetry summary.  Requires tracing.
+    ledger:
+        Accumulate the per-station airtime ledger live (AP + medium
+        observers) and audit it against the §2.2.1 analytical model at
+        teardown.
+    ledger_tolerance:
+        Maximum absolute airtime-share divergence between the measured
+        ledger and the analytical model before the audit fails.
     """
 
     trace: bool = False
@@ -72,6 +83,9 @@ class TelemetryConfig:
     metrics: bool = False
     metrics_path: Optional[str] = None
     sample_interval_ms: float = 100.0
+    spans: bool = False
+    ledger: bool = False
+    ledger_tolerance: float = 0.05
 
     def __post_init__(self) -> None:
         unknown = [c for c in self.categories if c not in TRACE_CATEGORIES]
@@ -82,6 +96,10 @@ class TelemetryConfig:
             )
         if self.sample_interval_ms <= 0:
             raise ValueError("sample_interval_ms must be positive")
+        if self.spans and not self.trace_enabled:
+            raise ValueError("spans requires tracing (set trace/trace_path)")
+        if self.ledger_tolerance < 0:
+            raise ValueError("ledger_tolerance must be non-negative")
 
     # ------------------------------------------------------------------
     @property
@@ -94,7 +112,7 @@ class TelemetryConfig:
 
     @property
     def active(self) -> bool:
-        return self.trace_enabled or self.metrics_enabled
+        return self.trace_enabled or self.metrics_enabled or self.ledger
 
     # ------------------------------------------------------------------
     def for_run(self, label: str) -> "TelemetryConfig":

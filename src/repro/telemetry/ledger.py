@@ -1,0 +1,346 @@
+"""Per-station airtime ledger with an analytical-model audit.
+
+The paper's airtime argument (§2.2.1, Table 1) is an accounting claim:
+each station's share of the channel follows eqs. (1)–(5) from its
+aggregation level, packet size and PHY rate.  This module keeps the
+simulator honest about it with double-entry bookkeeping:
+
+* the **medium book** — an observer accumulates every
+  :class:`~repro.mac.medium.TransmissionRecord` into per-station TX,
+  retry and contention time (downlink and uplink separately);
+* the **AP book** — :meth:`AccessPoint.txop_complete` /
+  :meth:`~repro.mac.ap.AccessPoint.receive_uplink` charge the same
+  completions from the AP's side (via
+  :meth:`~repro.mac.ap.AccessPoint.set_ledger`).
+
+At teardown :meth:`AirtimeLedger.audit` cross-checks the two books
+(they see the identical floats, so they must agree exactly), checks
+busy-time conservation against the medium's own counter, and compares
+the measured airtime shares against :func:`repro.model.analytical.predict`
+fed with the *measured* mean aggregation — the same validation loop the
+paper ran between its in-kernel accounting and monitor-mode captures.
+With ``--strict`` a failed audit raises
+:class:`~repro.faults.watchdog.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["AirtimeLedger", "LedgerAudit", "StationBook"]
+
+#: Absolute float tolerance for the AP-book vs medium-book cross-check.
+#: Both books add the identical floats in the identical order, so any
+#: drift beyond rounding noise is a real accounting bug.
+_BOOKS_EPS_US = 1e-6
+#: Relative tolerance for busy-time conservation vs the medium counter.
+_BUSY_REL_EPS = 1e-9
+
+
+@dataclass
+class StationBook:
+    """One station's airtime account (all times in µs)."""
+
+    # Downlink (AP -> station), from the medium book.
+    tx_us: float = 0.0           # successful transmission time
+    retry_us: float = 0.0        # failed-attempt transmission time
+    contention_us: float = 0.0   # DIFS + backoff overhead (all attempts)
+    aggs: int = 0                # downlink TX attempts
+    agg_packets: int = 0         # packets across those attempts
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    # Uplink (station -> AP), from the medium book.
+    rx_us: float = 0.0
+    rx_retry_us: float = 0.0
+    rx_contention_us: float = 0.0
+    rx_bytes: int = 0
+    # The AP's own books (cross-check).
+    ap_tx_us: float = 0.0        # txop_complete charges (all attempts)
+    ap_rx_us: float = 0.0        # receive_uplink charges (successes)
+
+    @property
+    def downlink_airtime_us(self) -> float:
+        return self.tx_us + self.retry_us + self.contention_us
+
+    @property
+    def uplink_airtime_us(self) -> float:
+        return self.rx_us + self.rx_retry_us + self.rx_contention_us
+
+    @property
+    def total_airtime_us(self) -> float:
+        return self.downlink_airtime_us + self.uplink_airtime_us
+
+    @property
+    def mean_aggregation(self) -> float:
+        return self.agg_packets / self.aggs if self.aggs else 0.0
+
+    @property
+    def mean_payload_bytes(self) -> float:
+        if self.delivered_packets == 0:
+            return 0.0
+        return self.delivered_bytes / self.delivered_packets
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tx_us": self.tx_us,
+            "retry_us": self.retry_us,
+            "contention_us": self.contention_us,
+            "rx_us": self.rx_us,
+            "rx_retry_us": self.rx_retry_us,
+            "rx_contention_us": self.rx_contention_us,
+            "aggs": self.aggs,
+            "agg_packets": self.agg_packets,
+            "delivered_packets": self.delivered_packets,
+            "delivered_bytes": self.delivered_bytes,
+            "total_airtime_us": self.total_airtime_us,
+        }
+
+
+@dataclass
+class LedgerAudit:
+    """The teardown verdict: books, conservation, and model agreement."""
+
+    ok: bool
+    tolerance: float
+    #: Per-station rows: measured vs model share and the inputs used.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    worst_delta: float = 0.0
+    books_ok: bool = True
+    books_errors: List[str] = field(default_factory=list)
+    conservation_ok: bool = True
+    conservation_detail: str = ""
+    #: True when the model comparison actually ran (enough data).
+    model_checked: bool = False
+
+    def describe(self) -> str:
+        lines = [
+            f"airtime ledger audit: {'ok' if self.ok else 'FAILED'} "
+            f"(tolerance {self.tolerance:.1%})"
+        ]
+        if self.rows:
+            lines.append(
+                f"{'station':>8} {'measured':>9} {'model':>9} {'delta':>8} "
+                f"{'mean_agg':>9}"
+            )
+            for row in self.rows:
+                lines.append(
+                    f"{row['station']:>8} {row['measured_share']:>9.1%} "
+                    f"{row['model_share']:>9.1%} {row['delta']:>8.1%} "
+                    f"{row['mean_aggregation']:>9.2f}"
+                )
+        if not self.books_ok:
+            lines.append("double-entry mismatch:")
+            lines.extend(f"  {err}" for err in self.books_errors)
+        if self.conservation_detail:
+            lines.append(self.conservation_detail)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "rows": self.rows,
+            "worst_delta": self.worst_delta,
+            "books_ok": self.books_ok,
+            "books_errors": self.books_errors,
+            "conservation_ok": self.conservation_ok,
+            "conservation_detail": self.conservation_detail,
+            "model_checked": self.model_checked,
+        }
+
+
+class AirtimeLedger:
+    """Live per-station airtime accounting for one run."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[int, StationBook] = {}
+        #: ``medium.busy_time_us`` at the last reset (warm-up boundary).
+        self.busy_baseline_us = 0.0
+        #: ``medium.collision_count`` at the last reset.
+        self.collision_baseline = 0
+
+    def book(self, station: int) -> StationBook:
+        entry = self.entries.get(station)
+        if entry is None:
+            entry = self.entries[station] = StationBook()
+        return entry
+
+    def reset(self, busy_baseline_us: float = 0.0,
+              collision_baseline: int = 0) -> None:
+        """Start the measurement window (warm-up reset)."""
+        self.entries.clear()
+        self.busy_baseline_us = busy_baseline_us
+        self.collision_baseline = collision_baseline
+
+    # ------------------------------------------------------------------
+    # The medium book (primary accumulation)
+    # ------------------------------------------------------------------
+    def on_transmission(self, rec) -> None:
+        """Medium observer: fold one TransmissionRecord into the books."""
+        entry = self.book(rec.station)
+        overhead = rec.airtime_us - rec.tx_time_us
+        if rec.downlink:
+            entry.contention_us += overhead
+            entry.aggs += 1
+            entry.agg_packets += rec.n_packets
+            if rec.success:
+                entry.tx_us += rec.tx_time_us
+                entry.delivered_packets += rec.n_packets
+                entry.delivered_bytes += rec.payload_bytes
+            else:
+                entry.retry_us += rec.tx_time_us
+        else:
+            entry.rx_contention_us += overhead
+            if rec.success:
+                entry.rx_us += rec.tx_time_us
+                entry.rx_bytes += rec.payload_bytes
+            else:
+                entry.rx_retry_us += rec.tx_time_us
+
+    # ------------------------------------------------------------------
+    # The AP book (double-entry cross-check)
+    # ------------------------------------------------------------------
+    def charge_ap_tx(self, station: int, duration_us: float,
+                     success: bool) -> None:
+        self.book(station).ap_tx_us += duration_us
+
+    def charge_ap_rx(self, station: int, duration_us: float) -> None:
+        self.book(station).ap_rx_us += duration_us
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def total_airtime_us(self) -> float:
+        return sum(e.total_airtime_us for e in self.entries.values())
+
+    def shares(self) -> Dict[int, float]:
+        total = self.total_airtime_us()
+        if total <= 0:
+            return {station: 0.0 for station in self.entries}
+        return {
+            station: entry.total_airtime_us / total
+            for station, entry in self.entries.items()
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        shares = self.shares()
+        return {
+            str(station): dict(self.entries[station].to_dict(),
+                               share=shares[station])
+            for station in sorted(self.entries)
+        }
+
+    # ------------------------------------------------------------------
+    # Teardown audit
+    # ------------------------------------------------------------------
+    def cross_check(self) -> List[str]:
+        """Compare the AP book against the medium book (must be exact)."""
+        errors: List[str] = []
+        for station in sorted(self.entries):
+            entry = self.entries[station]
+            medium_tx = entry.tx_us + entry.retry_us
+            if abs(entry.ap_tx_us - medium_tx) > _BOOKS_EPS_US:
+                errors.append(
+                    f"station {station}: AP tx book {entry.ap_tx_us:.3f}µs "
+                    f"!= medium {medium_tx:.3f}µs"
+                )
+            if abs(entry.ap_rx_us - entry.rx_us) > _BOOKS_EPS_US:
+                errors.append(
+                    f"station {station}: AP rx book {entry.ap_rx_us:.3f}µs "
+                    f"!= medium {entry.rx_us:.3f}µs"
+                )
+        return errors
+
+    def audit(
+        self,
+        rates: Mapping[int, Any],
+        airtime_fairness: bool,
+        tolerance: float = 0.05,
+        medium_busy_us: Optional[float] = None,
+        collision_count: int = 0,
+    ) -> LedgerAudit:
+        """Audit the ledger against §2.2.1 and the conservation laws.
+
+        ``rates`` maps station -> :class:`~repro.phy.rates.PhyRate` (the
+        pinned testbed rates).  The model comparison runs over stations
+        that actually carried downlink traffic, feeding it the measured
+        mean aggregation and payload size, exactly as Table 1 does.
+        """
+        from repro.model.analytical import StationModel, predict
+
+        audit = LedgerAudit(ok=True, tolerance=tolerance)
+
+        audit.books_errors = self.cross_check()
+        audit.books_ok = not audit.books_errors
+
+        # Busy-time conservation: everything the ledger booked must equal
+        # the channel occupancy the medium itself counted.  Collisions
+        # are excluded — the medium adds a collision's occupancy once but
+        # emits one record per participant.
+        if medium_busy_us is not None:
+            booked = self.total_airtime_us()
+            expected = medium_busy_us - self.busy_baseline_us
+            collided = collision_count - self.collision_baseline
+            if collided == 0:
+                scale = max(abs(expected), 1.0)
+                audit.conservation_ok = (
+                    abs(booked - expected) <= _BUSY_REL_EPS * scale + 1e-6
+                )
+                audit.conservation_detail = (
+                    f"busy-time conservation: booked {booked / 1e3:.3f}ms "
+                    f"vs medium {expected / 1e3:.3f}ms "
+                    f"({'ok' if audit.conservation_ok else 'VIOLATED'})"
+                )
+            else:
+                audit.conservation_detail = (
+                    f"busy-time conservation: skipped "
+                    f"({collided} collisions double-book per participant)"
+                )
+
+        # Model comparison (measured shares vs eqs. 1–5).
+        downlink = {
+            station: entry
+            for station, entry in self.entries.items()
+            if entry.aggs > 0 and station in rates
+        }
+        if len(downlink) >= 2:
+            audit.model_checked = True
+            models = []
+            for station in sorted(downlink):
+                entry = downlink[station]
+                models.append(StationModel(
+                    aggregation=max(1.0, entry.mean_aggregation),
+                    payload_bytes=int(round(entry.mean_payload_bytes)) or 1,
+                    rate=rates[station],
+                    label=str(station),
+                ))
+            predictions = predict(models, airtime_fairness=airtime_fairness)
+            total_down = sum(
+                entry.downlink_airtime_us for entry in downlink.values()
+            )
+            for model, prediction in zip(models, predictions):
+                station = int(model.label)
+                entry = downlink[station]
+                measured = (
+                    entry.downlink_airtime_us / total_down
+                    if total_down > 0 else 0.0
+                )
+                delta = abs(measured - prediction.airtime_share)
+                audit.rows.append({
+                    "station": station,
+                    "measured_share": measured,
+                    "model_share": prediction.airtime_share,
+                    "delta": delta,
+                    "mean_aggregation": entry.mean_aggregation,
+                    "payload_bytes": model.payload_bytes,
+                })
+                if delta > audit.worst_delta:
+                    audit.worst_delta = delta
+
+        audit.ok = (
+            audit.books_ok
+            and audit.conservation_ok
+            and audit.worst_delta <= tolerance
+        )
+        return audit

@@ -96,6 +96,8 @@ class Histogram:
             raise ValueError("q must be within [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
         threshold = q * self.count
         cumulative = 0
         for index in sorted(self._buckets):

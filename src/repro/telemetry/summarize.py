@@ -85,6 +85,10 @@ class TraceSummary:
     deficit_charged_us: Dict[Tuple[int, str], float] = field(default_factory=dict)
     #: Station -> times it (re)entered the scheduler, by list.
     scheduler_entries: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    #: Fault-injection event counts by event type (PR 3 ``fault`` category).
+    fault_events: Dict[str, int] = field(default_factory=dict)
+    #: Conservation-audit verdicts seen in the trace (ok flags, in order).
+    conservation_ok: List[bool] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def airtime_shares(self) -> Dict[int, float]:
@@ -160,6 +164,11 @@ def summarize_records(records: List[Mapping[str, Any]]) -> TraceSummary:
             summary.codel_transitions[station] = (
                 summary.codel_transitions.get(station, 0) + 1
             )
+
+        elif cat == "fault":
+            summary.fault_events[ev] = summary.fault_events.get(ev, 0) + 1
+            if ev == "conservation":
+                summary.conservation_ok.append(bool(record.get("ok")))
 
         elif cat == "sched":
             if ev == "deficit_charge":
@@ -267,6 +276,16 @@ def format_summary(summary: TraceSummary, title: str = "") -> str:
                 f"  station {station:>4} tx {tx_us / 1e3:>10.2f} "
                 f"rx {rx_us / 1e3:>10.2f}"
             )
+
+    if summary.fault_events:
+        lines.append("")
+        lines.append("Fault-injection events:")
+        for ev, count in sorted(summary.fault_events.items()):
+            lines.append(f"  {ev:<16} {count}")
+        if summary.conservation_ok:
+            verdict = ("ok" if all(summary.conservation_ok)
+                       else "VIOLATED")
+            lines.append(f"  conservation audit: {verdict}")
 
     if summary.scheduler_entries:
         new = sum(v for (s, lst), v in summary.scheduler_entries.items()

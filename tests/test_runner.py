@@ -246,6 +246,44 @@ class TestRunnerExecution:
         assert executor_mod.default_jobs() >= 1
 
 
+class TestAutoSerial:
+    """Oversubscription fallback: pools slower than serial on few CPUs."""
+
+    def test_falls_back_when_jobs_exceed_cpus(self, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 2)
+        runner = Runner(jobs=8, cache=None, auto_serial=True)
+        assert runner.jobs == 1
+        assert runner.requested_jobs == 8
+        assert runner.execution_mode == "serial (auto)"
+        assert runner.run_values([spec_for(x) for x in (2, 3)]) == [4, 9]
+        assert not runner.used_pool
+
+    def test_no_fallback_within_cpu_budget(self, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 8)
+        runner = Runner(jobs=4, cache=None, auto_serial=True)
+        assert runner.jobs == 4
+        assert runner.requested_jobs == 4
+        assert runner.execution_mode == "parallel"
+
+    def test_no_fallback_without_opt_in(self, monkeypatch):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        runner = Runner(jobs=4, cache=None)
+        assert runner.jobs == 4
+
+    def test_timeout_keeps_the_pool(self, monkeypatch):
+        """Only the pool path can enforce timeout_s, so the fallback
+        must not demote a runner that needs the budget."""
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        runner = Runner(jobs=4, cache=None, auto_serial=True, timeout_s=30.0)
+        assert runner.jobs == 4
+        assert runner.execution_mode == "parallel"
+
+    def test_serial_request_stays_serial(self):
+        runner = Runner(jobs=1, cache=None, auto_serial=True)
+        assert runner.execution_mode == "serial"
+        assert runner.requested_jobs == 1
+
+
 @pytest.mark.slow
 class TestParallelDeterminism:
     """Parallel output must be bit-identical to serial."""

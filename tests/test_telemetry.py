@@ -91,6 +91,20 @@ class TestTelemetryConfig:
     def test_all_categories_known(self):
         TelemetryConfig(trace=True, categories=TRACE_CATEGORIES)  # no raise
 
+    def test_spans_require_tracing(self):
+        with pytest.raises(ValueError, match="spans requires tracing"):
+            TelemetryConfig(spans=True)
+        TelemetryConfig(trace=True, spans=True)  # no raise
+
+    def test_ledger_alone_activates_telemetry(self):
+        config = TelemetryConfig(ledger=True)
+        assert config.active
+        assert not config.trace_enabled
+
+    def test_negative_ledger_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="ledger_tolerance"):
+            TelemetryConfig(ledger=True, ledger_tolerance=-0.1)
+
 
 # ----------------------------------------------------------------------
 # Metrics
@@ -115,6 +129,48 @@ class TestMetrics:
             hist.observe(float(value))
         assert hist.quantile(0.0) <= hist.quantile(0.5) <= hist.quantile(1.0)
         assert hist.quantile(1.0) == 100.0
+
+    def test_histogram_empty_quantile_is_zero(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+        assert hist.summary() == {"count": 0}
+
+    def test_histogram_single_sample_exact_at_endpoints(self):
+        hist = Histogram("h")
+        hist.observe(7.0)
+        assert hist.quantile(0.0) == 7.0
+        assert hist.quantile(1.0) == 7.0
+        assert hist.quantile(0.5) <= 8.0  # bucket upper bound, clamped
+
+    def test_histogram_quantile_rejects_out_of_range(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match="within"):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError, match="within"):
+            hist.quantile(1.1)
+
+    def test_histogram_q0_returns_min_not_bucket_bound(self):
+        hist = Histogram("h")
+        for value in (3.0, 100.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 3.0
+
+    def test_write_json_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(3)
+        registry.gauge("depth").set(4.5)
+        for value in (1.0, 8.0, 64.0):
+            registry.histogram("sojourn").observe(value)
+        registry.record_sample("depth", 10.0, 2.0)
+        path = registry.write_json(str(tmp_path / "metrics.json"))
+        restored = json.loads(path.read_text())
+        assert restored == json.loads(json.dumps(registry.snapshot()))
+        assert restored["counters"]["runs"] == 3
+        assert restored["histograms"]["sojourn"]["count"] == 3
+        assert restored["series"]["depth"] == [[10.0, 2.0]]
 
     def test_series_recording(self):
         registry = MetricsRegistry()
@@ -269,6 +325,33 @@ class TestTracedRun:
                               title="run")
         assert "Per-station transmissions" in text
         assert "records" in text
+
+
+# ----------------------------------------------------------------------
+# Fault-category summaries
+# ----------------------------------------------------------------------
+class TestFaultSummary:
+    def test_summary_counts_fault_events(self):
+        records = [
+            {"t": 1.0, "cat": "fault", "ev": "burst_start", "station": 0},
+            {"t": 2.0, "cat": "fault", "ev": "burst_start", "station": 1},
+            {"t": 3.0, "cat": "fault", "ev": "conservation", "ok": True},
+        ]
+        summary = summarize_records(records)
+        assert summary.by_category["fault"] == 3
+        assert summary.fault_events == {"burst_start": 2, "conservation": 1}
+        assert summary.conservation_ok == [True]
+
+    def test_format_summary_renders_fault_section(self):
+        records = [
+            {"t": 1.0, "cat": "fault", "ev": "rate_crash", "station": 2},
+            {"t": 2.0, "cat": "fault", "ev": "conservation", "ok": False},
+        ]
+        text = format_summary(summarize_records(records))
+        assert "Fault-injection events:" in text
+        assert "rate_crash" in text
+        assert "conservation audit: VIOLATED" in text
+        assert "fault=2" in text  # per-category counts line
 
 
 # ----------------------------------------------------------------------
