@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 __all__ = ["jain_index"]
@@ -12,11 +13,14 @@ def jain_index(values: Iterable[float]) -> float:
 
     Returns 1.0 for perfectly equal allocations and approaches ``1/n``
     when one participant takes everything.  An empty or all-zero input
-    yields 1.0 (vacuous fairness).
+    yields 1.0 (vacuous fairness).  NaN inputs are rejected rather than
+    silently propagated into a NaN index.
     """
     xs = list(values)
     if not xs:
         return 1.0
+    if any(math.isnan(x) for x in xs):
+        raise ValueError("Jain's index is undefined for NaN values")
     if any(x < 0 for x in xs):
         raise ValueError("Jain's index requires non-negative values")
     total = sum(xs)

@@ -8,6 +8,7 @@ everything Figures 5–7, 9 and Table 1 are computed from.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -93,11 +94,17 @@ class AirtimeTracker:
 # Distribution helpers
 # ----------------------------------------------------------------------
 def percentile(samples: Sequence[float], pct: float) -> float:
-    """Linear-interpolation percentile (``pct`` in [0, 100])."""
+    """Linear-interpolation percentile (``pct`` in [0, 100]).
+
+    NaN samples are rejected: they sort unpredictably, so a single NaN
+    would silently corrupt every quantile computed from the series.
+    """
     if not samples:
         raise ValueError("no samples")
     if not 0 <= pct <= 100:
         raise ValueError("pct must be within [0, 100]")
+    if any(math.isnan(s) for s in samples):
+        raise ValueError("percentile is undefined for NaN samples")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]

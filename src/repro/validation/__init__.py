@@ -1,0 +1,88 @@
+"""Validation subsystem: differential, metamorphic, and golden testing.
+
+Three legs, one goal — evidence that the simulator agrees with the
+paper's §2.2.1 analytical model and with itself:
+
+* :mod:`repro.validation.matrix` — a scenario grid cross-validated
+  against :func:`repro.model.analytical.predict`, producing a
+  machine-readable conformance report;
+* :mod:`repro.validation.oracles` — scheme-independent metamorphic and
+  dominance properties (conservation, scale invariance, rate
+  monotonicity, Jain/latency dominance) plus a fuzzing entry point;
+* :mod:`repro.validation.golden` — a pinned-snapshot regression corpus
+  gated with the ``benchmarks/gate.py`` clamp-then-relative semantics.
+
+All three are driven by the ``validate`` CLI subcommand family.
+"""
+
+from repro.validation.golden import (
+    GoldenBreach,
+    GoldenReport,
+    check,
+    corpus,
+    corpus_names,
+    default_golden_dir,
+    diff_snapshot,
+    refresh,
+)
+from repro.validation.matrix import (
+    CellMetrics,
+    CellOutcome,
+    CellSpec,
+    ConformanceReport,
+    Tolerance,
+    WAIVED_CELLS,
+    default_grid,
+    evaluate_cell,
+    run_cell,
+    run_matrix,
+    smoke_grid,
+)
+from repro.validation.oracles import (
+    OracleVerdict,
+    check_conservation,
+    check_jain_dominance,
+    check_latency_dominance,
+    check_rate_monotonicity,
+    check_scale_invariance,
+    check_share_normalisation,
+    dominance_verdicts,
+    fuzz_verdicts,
+    rate_monotonicity_verdict,
+    scale_invariance_verdict,
+    standard_verdicts,
+)
+
+__all__ = [
+    "CellMetrics",
+    "CellOutcome",
+    "CellSpec",
+    "ConformanceReport",
+    "GoldenBreach",
+    "GoldenReport",
+    "OracleVerdict",
+    "Tolerance",
+    "WAIVED_CELLS",
+    "check",
+    "check_conservation",
+    "check_jain_dominance",
+    "check_latency_dominance",
+    "check_rate_monotonicity",
+    "check_scale_invariance",
+    "check_share_normalisation",
+    "corpus",
+    "corpus_names",
+    "default_golden_dir",
+    "default_grid",
+    "diff_snapshot",
+    "dominance_verdicts",
+    "evaluate_cell",
+    "fuzz_verdicts",
+    "rate_monotonicity_verdict",
+    "refresh",
+    "run_cell",
+    "run_matrix",
+    "scale_invariance_verdict",
+    "smoke_grid",
+    "standard_verdicts",
+]

@@ -1,0 +1,350 @@
+"""Golden regression corpus (leg 3 of the validation subsystem).
+
+A small set of pinned scenarios — one per scheme for the Figure-5 UDP
+test, the Figure-1 latency comparison, the Figure-8 sparse-station
+optimisation, and two matrix cells — whose headline metrics are
+snapshotted as JSON under ``tests/golden/``.  ``validate check`` re-runs
+the corpus and diffs against the snapshots with the same
+clamp-then-relative semantics as ``benchmarks/gate.py``: a change is a
+breach only if it exceeds a relative threshold *and* an absolute noise
+floor, so simulator noise never trips the gate but behavioural drift
+does.
+
+The snapshot functions are :class:`~repro.runner.RunSpec` targets, so
+corpus runs fan out through the parallel runner and hit its result
+cache like every other experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import percentile
+from repro.mac.ap import Scheme
+from repro.runner import Runner, RunSpec, execute
+
+__all__ = [
+    "GoldenBreach",
+    "GoldenReport",
+    "corpus",
+    "corpus_names",
+    "default_golden_dir",
+    "diff_snapshot",
+    "check",
+    "refresh",
+    "snapshot_udp",
+    "snapshot_latency",
+    "snapshot_sparse",
+    "snapshot_cell",
+]
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+# ----------------------------------------------------------------------
+# Snapshot functions (RunSpec targets) — each returns a flat-ish JSON
+# dict of rounded headline metrics.
+# ----------------------------------------------------------------------
+def _round(value: float, places: int = 4) -> float:
+    return round(float(value), places)
+
+
+def snapshot_udp(scheme: Scheme, duration_s: float = 2.0,
+                 warmup_s: float = 0.5, seed: int = 1) -> Dict[str, object]:
+    """Figure-5 UDP scenario headline metrics for one scheme."""
+    from repro.experiments.airtime_udp import run_scheme
+
+    from repro.analysis.fairness import jain_index
+
+    result = run_scheme(scheme, duration_s=duration_s,
+                        warmup_s=warmup_s, seed=seed)
+    return {
+        "scheme": scheme.value,
+        "jain_airtime": _round(jain_index(result.airtime_shares.values())),
+        "total_mbps": _round(sum(result.throughput_mbps.values()), 2),
+        "throughput_mbps": {
+            str(i): _round(v, 2) for i, v in result.throughput_mbps.items()
+        },
+        "airtime_share": {
+            str(i): _round(v) for i, v in result.airtime_shares.items()
+        },
+        "mean_agg": {
+            str(i): _round(v, 2) for i, v in result.mean_aggregation.items()
+        },
+    }
+
+
+def snapshot_latency(scheme: Scheme, duration_s: float = 2.5,
+                     warmup_s: float = 1.0, seed: int = 1) -> Dict[str, object]:
+    """Figure-1 ping latency under bulk TCP, fast vs slow stations."""
+    from repro.experiments.config import FAST_STATIONS, SLOW_STATION
+    from repro.experiments.latency import run_scheme
+
+    result = run_scheme(scheme, duration_s=duration_s,
+                        warmup_s=warmup_s, seed=seed)
+    fast: List[float] = []
+    for idx in FAST_STATIONS:
+        fast.extend(result.rtts_ms.get(idx, []))
+    slow = result.rtts_ms.get(SLOW_STATION, [])
+    return {
+        "scheme": scheme.value,
+        "fast_p95_ms": _round(percentile(fast, 95), 2),
+        "fast_median_ms": _round(percentile(fast, 50), 2),
+        "slow_p95_ms": _round(percentile(slow, 95), 2),
+    }
+
+
+def snapshot_sparse(sparse_enabled: bool, duration_s: float = 2.5,
+                    warmup_s: float = 1.0, seed: int = 1) -> Dict[str, object]:
+    """Figure-8 sparse-station ping RTT, optimisation on or off."""
+    from repro.experiments.sparse import run_case
+
+    result = run_case("tcp", sparse_enabled, duration_s=duration_s,
+                      warmup_s=warmup_s, seed=seed)
+    return {
+        "sparse_enabled": sparse_enabled,
+        "rtt_median_ms": _round(percentile(result.rtts_ms, 50), 2),
+        "rtt_p95_ms": _round(percentile(result.rtts_ms, 95), 2),
+    }
+
+
+def snapshot_cell(mcs_indices: Tuple[int, ...], payload_bytes: int = 1500,
+                  max_subframes: int = 64, duration_s: float = 1.5,
+                  warmup_s: float = 0.5, seed: int = 1) -> Dict[str, object]:
+    """One matrix cell under airtime fairness (shares + rates + agg)."""
+    from repro.validation.matrix import run_cell
+
+    metrics = run_cell(
+        mcs_indices=mcs_indices, payload_bytes=payload_bytes,
+        max_subframes=max_subframes, duration_s=duration_s,
+        warmup_s=warmup_s, seed=seed,
+    )
+    return {
+        "mcs_indices": list(mcs_indices),
+        "jain_airtime": _round(metrics.jain_airtime),
+        "throughput_mbps": {
+            str(i): _round(v, 2) for i, v in metrics.throughput_mbps.items()
+        },
+        "airtime_share": {
+            str(i): _round(v) for i, v in metrics.airtime_shares.items()
+        },
+        "mean_agg": {
+            str(i): _round(v, 2) for i, v in metrics.mean_aggregation.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Corpus registry
+# ----------------------------------------------------------------------
+def corpus() -> List[Tuple[str, RunSpec]]:
+    """The pinned scenarios, as ``(name, spec)`` pairs."""
+    entries: List[Tuple[str, RunSpec]] = []
+    for scheme in (Scheme.FIFO, Scheme.FQ_CODEL, Scheme.FQ_MAC,
+                   Scheme.AIRTIME):
+        slug = scheme.name.lower()
+        entries.append((
+            f"udp-{slug}",
+            RunSpec.make("repro.validation.golden:snapshot_udp",
+                         label=f"golden/udp/{slug}", scheme=scheme),
+        ))
+    for scheme in (Scheme.FIFO, Scheme.AIRTIME):
+        slug = scheme.name.lower()
+        entries.append((
+            f"latency-{slug}",
+            RunSpec.make("repro.validation.golden:snapshot_latency",
+                         label=f"golden/latency/{slug}",
+                         scheme=scheme),
+        ))
+    for enabled in (True, False):
+        entries.append((
+            f"sparse-{'on' if enabled else 'off'}",
+            RunSpec.make("repro.validation.golden:snapshot_sparse",
+                         label=f"golden/sparse/{'on' if enabled else 'off'}",
+                         sparse_enabled=enabled),
+        ))
+    entries.append((
+        "cell-n5-ladder",
+        RunSpec.make("repro.validation.golden:snapshot_cell",
+                     label="golden/cell/n5-ladder",
+                     mcs_indices=(2, 4, 7, 9, 12)),
+    ))
+    entries.append((
+        "cell-n3-agg8-p300",
+        RunSpec.make("repro.validation.golden:snapshot_cell",
+                     label="golden/cell/n3-agg8-p300",
+                     mcs_indices=(15, 15, 0), payload_bytes=300,
+                     max_subframes=8),
+    ))
+    return entries
+
+
+def corpus_names() -> List[str]:
+    return [name for name, _ in corpus()]
+
+
+def _select(only: Optional[Sequence[str]]) -> List[Tuple[str, RunSpec]]:
+    entries = corpus()
+    if only is None:
+        return entries
+    wanted = set(only)
+    unknown = wanted - {name for name, _ in entries}
+    if unknown:
+        raise ValueError(f"unknown golden scenario(s): {sorted(unknown)}")
+    return [(name, spec) for name, spec in entries if name in wanted]
+
+
+# ----------------------------------------------------------------------
+# Diff semantics — clamp-then-relative, like benchmarks/gate.py
+# ----------------------------------------------------------------------
+# (relative threshold, absolute noise floor) per metric-key suffix; a
+# change is a breach only when it exceeds BOTH.  Pure-absolute metrics
+# (shares, Jain) use rel=0 with the floor as the absolute band.
+_TOLERANCES: List[Tuple[str, float, float]] = [
+    ("_ms", 0.10, 0.5),
+    ("_mbps", 0.10, 0.3),
+    ("_agg", 0.15, 0.5),
+    ("_share", 0.0, 0.02),
+    ("jain_airtime", 0.0, 0.02),
+]
+
+
+def _tolerance_for(key: str) -> Tuple[float, float]:
+    # Dotted keys like "throughput_mbps.1" carry their suffix in the
+    # parent component.
+    parts = key.split(".")
+    stem = parts[-2] if len(parts) > 1 and parts[-1].isdigit() else parts[-1]
+    for suffix, rel, floor in _TOLERANCES:
+        if stem.endswith(suffix) or stem == suffix:
+            return rel, floor
+    return 0.10, 0.0
+
+
+def _flatten(prefix: str, value: object,
+             out: Dict[str, object]) -> None:
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    else:
+        out[prefix] = value
+
+
+@dataclass(frozen=True)
+class GoldenBreach:
+    scenario: str
+    key: str
+    expected: object
+    actual: object
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"{self.scenario}: {self.key} expected {self.expected!r} "
+                f"got {self.actual!r} ({self.detail})")
+
+
+def diff_snapshot(scenario: str, expected: Dict[str, object],
+                  actual: Dict[str, object]) -> List[GoldenBreach]:
+    """Compare two snapshots; returns the breaches (empty = clean)."""
+    flat_old: Dict[str, object] = {}
+    flat_new: Dict[str, object] = {}
+    _flatten("", expected, flat_old)
+    _flatten("", actual, flat_new)
+    breaches: List[GoldenBreach] = []
+    for key in sorted(set(flat_old) | set(flat_new)):
+        if key not in flat_old or key not in flat_new:
+            side = "golden" if key not in flat_new else "run"
+            breaches.append(GoldenBreach(
+                scenario, key, flat_old.get(key), flat_new.get(key),
+                f"key missing from {side} output"))
+            continue
+        old, new = flat_old[key], flat_new[key]
+        if isinstance(old, (int, float)) and isinstance(new, (int, float)) \
+                and not isinstance(old, bool) and not isinstance(new, bool):
+            rel, floor = _tolerance_for(key)
+            band = max(rel * abs(float(old)), floor)
+            delta = abs(float(new) - float(old))
+            if delta > band:
+                breaches.append(GoldenBreach(
+                    scenario, key, old, new,
+                    f"|Δ|={delta:.4g} exceeds band {band:.4g}"))
+        elif old != new:
+            breaches.append(GoldenBreach(scenario, key, old, new,
+                                         "value changed"))
+    return breaches
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    checked: List[str]
+    breaches: List[GoldenBreach]
+    missing: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.breaches and not self.missing
+
+    def format(self) -> str:
+        lines = []
+        for name in self.missing:
+            lines.append(f"MISSING golden snapshot for {name} "
+                         f"(run `validate refresh`)")
+        for breach in self.breaches:
+            lines.append(f"BREACH {breach}")
+        state = "clean" if self.clean else \
+            f"{len(self.breaches)} breach(es), {len(self.missing)} missing"
+        lines.append(f"golden: {len(self.checked)} scenario(s) checked, "
+                     f"{state}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Refresh / check
+# ----------------------------------------------------------------------
+def _run_corpus(entries: List[Tuple[str, RunSpec]],
+                runner: Optional[Runner]) -> Dict[str, Dict[str, object]]:
+    results = execute([spec for _, spec in entries], runner)
+    out: Dict[str, Dict[str, object]] = {}
+    for (name, _), result in zip(entries, results):
+        if result is None:
+            raise RuntimeError(f"golden scenario {name!r} failed to run")
+        out[name] = result
+    return out
+
+
+def refresh(only: Optional[Sequence[str]] = None,
+            runner: Optional[Runner] = None,
+            golden_dir: Optional[Path] = None) -> List[str]:
+    """Re-run the corpus and overwrite the snapshots; returns the names."""
+    golden_dir = golden_dir or default_golden_dir()
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    entries = _select(only)
+    snapshots = _run_corpus(entries, runner)
+    for name, snapshot in snapshots.items():
+        path = golden_dir / f"{name}.json"
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return sorted(snapshots)
+
+
+def check(only: Optional[Sequence[str]] = None,
+          runner: Optional[Runner] = None,
+          golden_dir: Optional[Path] = None) -> GoldenReport:
+    """Re-run the corpus and diff against the pinned snapshots."""
+    golden_dir = golden_dir or default_golden_dir()
+    entries = _select(only)
+    missing = [name for name, _ in entries
+               if not (golden_dir / f"{name}.json").exists()]
+    entries = [(name, spec) for name, spec in entries
+               if name not in missing]
+    snapshots = _run_corpus(entries, runner) if entries else {}
+    breaches: List[GoldenBreach] = []
+    for name, actual in snapshots.items():
+        expected = json.loads((golden_dir / f"{name}.json").read_text())
+        breaches.extend(diff_snapshot(name, expected, actual))
+    return GoldenReport(checked=sorted(snapshots), breaches=breaches,
+                        missing=missing)

@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.engine import Simulator
+
+try:
+    from hypothesis import settings
+
+    # "ci" pins Hypothesis to its deterministic derandomized mode so CI
+    # failures always reproduce locally with HYPOTHESIS_PROFILE=ci; the
+    # default profile keeps random exploration for local runs.
+    settings.register_profile("ci", derandomize=True, deadline=None,
+                              max_examples=30)
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is in the dev image
+    pass
 
 
 @pytest.fixture

@@ -32,6 +32,16 @@ class TestJainIndex:
         with pytest.raises(ValueError):
             jain_index([1.0, -1.0])
 
+    def test_single_sample_is_perfectly_fair(self):
+        assert jain_index([42.0]) == pytest.approx(1.0)
+
+    def test_all_equal_is_exactly_one(self):
+        assert jain_index([0.25] * 4) == 1.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            jain_index([1.0, float("nan"), 2.0])
+
 
 class TestPercentile:
     def test_median_of_odd_list(self):
@@ -53,6 +63,15 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1], 101)
 
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, float("nan")], 50)
+
 
 class TestCdfAndSummary:
     def test_cdf_points_are_monotone(self):
@@ -71,6 +90,11 @@ class TestCdfAndSummary:
     def test_summary_of_empty(self):
         s = summarize([])
         assert s.count == 0
+
+    def test_summary_of_single_sample(self):
+        s = summarize([3.5])
+        assert s.count == 1
+        assert s.mean == s.median == s.p10 == s.p99 == 3.5
 
 
 def record(station, airtime, downlink=True, n=1, payload=1500, success=True):

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def test_list_exits_zero(capsys):
@@ -47,3 +55,70 @@ def test_single_experiment_runs_scaled_down(capsys):
     out = capsys.readouterr().out
     assert "Figure 5" in out
     assert "Airtime fair FQ" in out
+
+
+# ----------------------------------------------------------------------
+# Exit-code contract, exercised end to end through a real subprocess:
+# 0 clean, 2 usage error, 3 partial failure (some runs produced no
+# value), 4 golden-gate breach.
+# ----------------------------------------------------------------------
+def _run_cli(args, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.validation
+class TestExitCodeContract:
+    def test_exit_0_on_clean_run(self, tmp_path):
+        proc = _run_cli(["fig05", "--duration", "1", "--warmup", "0.2"],
+                        tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 5" in proc.stdout
+
+    def test_exit_2_on_unknown_experiment(self, tmp_path):
+        proc = _run_cli(["nonsense"], tmp_path)
+        assert proc.returncode == 2
+        assert "unknown" in proc.stderr
+
+    def test_exit_3_on_partial_failure(self, tmp_path):
+        # A churn event for a station that does not exist makes those
+        # runs raise; the CLI reports the surviving runs and exits 3.
+        schedule = tmp_path / "faults.json"
+        schedule.write_text(json.dumps({
+            "churn": [{"station": 7, "detach_s": 0.2}],
+        }))
+        proc = _run_cli(["fig05", "--duration", "1", "--warmup", "0.2",
+                         "--faults", str(schedule)], tmp_path)
+        assert proc.returncode == 3, proc.stderr
+        assert "Failed runs" in proc.stdout
+
+    @pytest.mark.slow
+    def test_exit_4_on_golden_breach(self, tmp_path):
+        golden_dir = tmp_path / "golden"
+        proc = _run_cli(["validate", "refresh", "--only", "udp-airtime",
+                         "--golden", str(golden_dir)], tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+        path = golden_dir / "udp-airtime.json"
+        snap = json.loads(path.read_text())
+        snap["total_mbps"] = snap["total_mbps"] * 2
+        path.write_text(json.dumps(snap))
+
+        # Same cache dir: the check replays the cached run, so only the
+        # diff (and the breach) differs from the refresh.
+        proc = _run_cli(["validate", "check", "--only", "udp-airtime",
+                         "--golden", str(golden_dir)], tmp_path)
+        assert proc.returncode == 4, proc.stderr
+        assert "BREACH" in proc.stdout
+
+    def test_validate_rejects_unknown_scenario(self, tmp_path):
+        proc = _run_cli(["validate", "check", "--only", "no-such"],
+                        tmp_path)
+        assert proc.returncode == 2
+        assert "unknown golden" in proc.stderr

@@ -1,0 +1,120 @@
+"""Tests for the golden regression corpus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, Runner
+from repro.validation import golden
+
+
+class TestCorpus:
+    def test_names_are_unique_and_stable(self):
+        names = golden.corpus_names()
+        assert len(names) == len(set(names))
+        assert "udp-airtime" in names
+        assert "cell-n5-ladder" in names
+        assert len(names) >= 10
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError, match="unknown golden"):
+            golden.check(only=["no-such-scenario"])
+
+    def test_default_dir_is_tests_golden(self):
+        path = golden.default_golden_dir()
+        assert path.parts[-2:] == ("tests", "golden")
+
+
+class TestDiffSnapshot:
+    def test_identical_snapshots_are_clean(self):
+        snap = {"total_mbps": 89.2, "airtime_share": {"0": 0.33}}
+        assert golden.diff_snapshot("s", snap, dict(snap)) == []
+
+    def test_within_band_change_is_clean(self):
+        old = {"total_mbps": 89.2}
+        new = {"total_mbps": 91.0}  # ~2% < 10% rel
+        assert golden.diff_snapshot("s", old, new) == []
+
+    def test_noise_floor_clamps_small_values(self):
+        # 0.1 -> 0.3 Mbps is a 200% relative change but sits inside the
+        # 0.3 Mbps absolute floor, so it must not breach.
+        assert golden.diff_snapshot("s", {"x_mbps": 0.1},
+                                    {"x_mbps": 0.3}) == []
+
+    def test_relative_breach_detected(self):
+        breaches = golden.diff_snapshot("s", {"total_mbps": 89.2},
+                                        {"total_mbps": 60.0})
+        assert len(breaches) == 1
+        assert breaches[0].key == "total_mbps"
+
+    def test_share_uses_absolute_band(self):
+        old = {"airtime_share": {"0": 0.333}}
+        assert golden.diff_snapshot(
+            "s", old, {"airtime_share": {"0": 0.345}}) == []
+        breaches = golden.diff_snapshot(
+            "s", old, {"airtime_share": {"0": 0.40}})
+        assert breaches and breaches[0].key == "airtime_share.0"
+
+    def test_latency_band(self):
+        assert golden.diff_snapshot("s", {"p95_ms": 17.0},
+                                    {"p95_ms": 17.4}) == []
+        assert golden.diff_snapshot("s", {"p95_ms": 17.0},
+                                    {"p95_ms": 30.0})
+
+    def test_missing_and_extra_keys_breach(self):
+        breaches = golden.diff_snapshot("s", {"a_mbps": 1.0},
+                                        {"b_mbps": 1.0})
+        assert {b.key for b in breaches} == {"a_mbps", "b_mbps"}
+
+    def test_non_numeric_change_breaches(self):
+        assert golden.diff_snapshot("s", {"scheme": "FIFO"},
+                                    {"scheme": "Airtime"})
+
+
+@pytest.mark.validation
+@pytest.mark.slow
+class TestRefreshCheckCycle:
+    def test_refresh_then_check_then_perturb(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        golden_dir = tmp_path / "golden"
+        runner = Runner(jobs=1, cache=ResultCache(), auto_serial=True)
+        only = ["udp-airtime"]
+
+        names = golden.refresh(only=only, runner=runner,
+                               golden_dir=golden_dir)
+        assert names == ["udp-airtime"]
+        path = golden_dir / "udp-airtime.json"
+        assert path.exists()
+
+        # The cached result makes the re-check cheap and byte-identical.
+        report = golden.check(only=only, runner=runner,
+                              golden_dir=golden_dir)
+        assert report.clean, report.format()
+        assert report.checked == ["udp-airtime"]
+
+        snap = json.loads(path.read_text())
+        snap["throughput_mbps"]["0"] = snap["throughput_mbps"]["0"] * 2
+        path.write_text(json.dumps(snap))
+        report = golden.check(only=only, runner=runner,
+                              golden_dir=golden_dir)
+        assert not report.clean
+        assert any(b.key == "throughput_mbps.0" for b in report.breaches)
+
+    def test_missing_snapshot_is_reported(self, tmp_path):
+        report = golden.check(only=["udp-fifo"],
+                              golden_dir=tmp_path / "empty")
+        assert not report.clean
+        assert report.missing == ["udp-fifo"]
+        assert "MISSING" in report.format()
+
+
+@pytest.mark.validation
+def test_committed_corpus_files_exist_and_parse():
+    golden_dir = golden.default_golden_dir()
+    for name in golden.corpus_names():
+        path = golden_dir / f"{name}.json"
+        assert path.exists(), f"missing committed golden {name}"
+        data = json.loads(path.read_text())
+        assert isinstance(data, dict) and data

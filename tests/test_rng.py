@@ -2,7 +2,40 @@
 
 from __future__ import annotations
 
+import re
+from pathlib import Path
+
 from repro.sim.rng import RngFactory
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Module-level randomness that bypasses the seeded RngFactory streams.
+#: Any of these in simulator code makes runs irreproducible (and breaks
+#: the result cache, which assumes a spec's output is a pure function of
+#: its arguments).
+_UNSEEDED = [
+    re.compile(r"\brandom\.(random|randint|uniform|choice|shuffle|"
+               r"sample|gauss|expovariate)\s*\("),
+    re.compile(r"\brandom\.Random\(\s*\)"),
+    re.compile(r"\bnp\.random\.|numpy\.random\."),
+]
+
+
+def test_no_unseeded_rng_in_simulator_code():
+    """Every random draw must come from a seeded, named stream."""
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(),
+                                      start=1):
+            stripped = line.split("#", 1)[0]
+            for pattern in _UNSEEDED:
+                if pattern.search(stripped):
+                    offenders.append(f"{path.relative_to(SRC_ROOT)}:"
+                                     f"{lineno}: {line.strip()}")
+    assert not offenders, (
+        "unseeded RNG use in src/repro (route it through sim.rng):\n"
+        + "\n".join(offenders)
+    )
 
 
 def test_same_seed_same_stream_values():

@@ -1,0 +1,214 @@
+"""Tests for the model cross-validation matrix."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mac.ap import Scheme
+from repro.model.analytical import StationModel, predict
+from repro.phy.rates import mcs
+from repro.validation.matrix import (
+    CellMetrics,
+    CellSpec,
+    ConformanceReport,
+    Tolerance,
+    WAIVED_CELLS,
+    cell_spec_to_runspec,
+    default_grid,
+    evaluate_cell,
+    run_cell,
+    run_matrix,
+    smoke_grid,
+)
+
+
+def _model_perfect_metrics(spec: CellSpec,
+                           agg: float = 16.0) -> CellMetrics:
+    """Metrics that agree with the analytical model exactly."""
+    indices = spec.mcs_indices()
+    models = [StationModel(agg, spec.payload_bytes, mcs(i), str(n))
+              for n, i in enumerate(indices)]
+    predictions = predict(models, airtime_fairness=True)
+    return CellMetrics(
+        mcs_indices=indices,
+        scheme_name="AIRTIME",
+        throughput_mbps={n: p.rate_mbps
+                         for n, p in enumerate(predictions)},
+        airtime_shares={n: p.airtime_share
+                        for n, p in enumerate(predictions)},
+        mean_aggregation={n: agg for n in range(len(indices))},
+        jain_airtime=1.0,
+        window_us=spec.duration_s * 1e6,
+        conservation_balance=0,
+    )
+
+
+class TestGrids:
+    def test_default_grid_covers_all_axes(self):
+        cells = default_grid()
+        assert len(cells) == 4 * 3 * 2 * 2
+        names = [c.name for c in cells]
+        assert len(set(names)) == len(names)
+
+    def test_smoke_grid_is_a_subset_of_the_axes(self):
+        for cell in smoke_grid():
+            assert cell.mix in ("all_fast", "fast_slow", "ladder")
+            assert cell.max_subframes in (64, 8)
+            assert cell.payload_bytes in (1500, 300)
+
+    def test_cell_name_encodes_all_axes(self):
+        spec = CellSpec(5, "ladder", 8, 300)
+        assert spec.name == "n5-ladder-agg8-p300"
+
+    def test_mix_produces_requested_station_count(self):
+        for mix in ("all_fast", "fast_slow", "ladder"):
+            assert len(CellSpec(5, mix, 64, 1500).mcs_indices()) == 5
+
+    def test_every_waived_cell_is_in_the_default_grid(self):
+        names = {c.name for c in default_grid()}
+        for waived in WAIVED_CELLS:
+            assert waived in names
+
+    def test_runspec_digest_is_stable_per_cell(self):
+        spec = CellSpec(3, "fast_slow", 64, 1500)
+        assert (cell_spec_to_runspec(spec).digest()
+                == cell_spec_to_runspec(spec).digest())
+        other = CellSpec(3, "fast_slow", 8, 1500)
+        assert (cell_spec_to_runspec(spec).digest()
+                != cell_spec_to_runspec(other).digest())
+
+
+class TestEvaluateCell:
+    def test_model_perfect_metrics_pass(self):
+        spec = CellSpec(3, "fast_slow", 64, 1500)
+        outcome = evaluate_cell(spec, _model_perfect_metrics(spec))
+        assert outcome.passed
+        assert outcome.share_err < 1e-9
+        assert outcome.rate_err_rel < 1e-9
+
+    def test_share_deviation_fails_the_cell(self):
+        spec = CellSpec(3, "all_fast", 64, 1500)
+        metrics = _model_perfect_metrics(spec)
+        shares = dict(metrics.airtime_shares)
+        shares[0] += 0.10
+        shares[1] -= 0.10
+        skewed = CellMetrics(
+            mcs_indices=metrics.mcs_indices,
+            scheme_name=metrics.scheme_name,
+            throughput_mbps=metrics.throughput_mbps,
+            airtime_shares=shares,
+            mean_aggregation=metrics.mean_aggregation,
+            jain_airtime=metrics.jain_airtime,
+            window_us=metrics.window_us,
+            conservation_balance=0,
+        )
+        outcome = evaluate_cell(spec, skewed)
+        assert not outcome.passed
+        assert "share" in outcome.detail
+
+    def test_conservation_imbalance_fails_the_cell(self):
+        spec = CellSpec(3, "all_fast", 64, 1500)
+        metrics = _model_perfect_metrics(spec)
+        broken = CellMetrics(
+            mcs_indices=metrics.mcs_indices,
+            scheme_name=metrics.scheme_name,
+            throughput_mbps=metrics.throughput_mbps,
+            airtime_shares=metrics.airtime_shares,
+            mean_aggregation=metrics.mean_aggregation,
+            jain_airtime=metrics.jain_airtime,
+            window_us=metrics.window_us,
+            conservation_balance=7,
+        )
+        outcome = evaluate_cell(spec, broken)
+        assert not outcome.passed
+        assert not outcome.conservation_ok
+
+    def test_failed_run_scores_as_failure(self):
+        spec = CellSpec(3, "all_fast", 64, 1500)
+        outcome = evaluate_cell(spec, None)
+        assert not outcome.passed
+        assert "failed" in outcome.detail
+
+    def test_waived_cell_is_marked(self):
+        spec = CellSpec(2, "fast_slow", 64, 1500)
+        assert spec.name in WAIVED_CELLS
+        outcome = evaluate_cell(spec, None)
+        assert outcome.waived
+
+
+class TestConformanceReport:
+    def _outcome(self, spec, passed, waived=False):
+        metrics = _model_perfect_metrics(spec) if passed else None
+        outcome = evaluate_cell(spec, metrics)
+        assert outcome.passed == passed
+        return outcome
+
+    def test_waived_cells_do_not_gate(self):
+        passing = self._outcome(CellSpec(3, "all_fast", 64, 1500), True)
+        waived = self._outcome(CellSpec(2, "fast_slow", 64, 1500), False)
+        assert waived.waived
+        report = ConformanceReport(cells=[passing, waived],
+                                   tolerance=Tolerance())
+        assert report.pass_fraction == 1.0
+        assert report.conforms()
+
+    def test_gated_failure_lowers_the_fraction(self):
+        passing = self._outcome(CellSpec(3, "all_fast", 64, 1500), True)
+        failing = self._outcome(CellSpec(5, "all_fast", 64, 1500), False)
+        report = ConformanceReport(cells=[passing, failing],
+                                   tolerance=Tolerance())
+        assert report.pass_fraction == 0.5
+        assert not report.conforms()
+
+    def test_json_report_round_trips(self):
+        spec = CellSpec(3, "all_fast", 64, 1500)
+        report = ConformanceReport(
+            cells=[evaluate_cell(spec, _model_perfect_metrics(spec))],
+            tolerance=Tolerance(),
+        )
+        data = json.loads(report.to_json())
+        assert data["pass_fraction"] == 1.0
+        assert data["cells"][0]["name"] == spec.name
+        assert "tolerance" in data
+
+    def test_format_table_mentions_every_cell(self):
+        spec = CellSpec(3, "all_fast", 64, 1500)
+        report = ConformanceReport(
+            cells=[evaluate_cell(spec, _model_perfect_metrics(spec))],
+            tolerance=Tolerance(),
+        )
+        assert spec.name in report.format_table()
+
+
+@pytest.mark.validation
+class TestRunCell:
+    def test_short_cell_is_conserved_and_normalised(self):
+        metrics = run_cell((15, 0), duration_s=0.8, warmup_s=0.2, seed=1)
+        assert metrics.conservation_balance == 0
+        assert sum(metrics.airtime_shares.values()) == pytest.approx(1.0)
+        assert all(v > 0 for v in metrics.throughput_mbps.values())
+
+    def test_strict_mode_runs_clean(self):
+        metrics = run_cell((15, 7), duration_s=0.6, warmup_s=0.2,
+                           seed=2, strict=True)
+        assert metrics.stall_violations == 0
+
+    def test_same_seed_is_bit_identical(self):
+        a = run_cell((15, 0), duration_s=0.5, warmup_s=0.1, seed=3)
+        b = run_cell((15, 0), duration_s=0.5, warmup_s=0.1, seed=3)
+        assert a == b
+
+
+@pytest.mark.validation
+@pytest.mark.slow
+def test_run_matrix_scores_every_cell():
+    cells = [CellSpec(2, "all_fast", 64, 1500, duration_s=0.8,
+                      warmup_s=0.2),
+             CellSpec(3, "fast_slow", 64, 1500, duration_s=0.8,
+                      warmup_s=0.2)]
+    report = run_matrix(cells, runner=None)
+    assert len(report.cells) == 2
+    assert {c.name for c in report.cells} == {c.name for c in cells}
+    json.loads(report.to_json())
