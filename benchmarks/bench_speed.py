@@ -81,6 +81,92 @@ def bench_cancel_heavy(n_rounds: int = 60_000) -> float:
     return n_rounds / wall
 
 
+def bench_trace_ring(n_events: int = 200_000) -> dict:
+    """Trace emission: the columnar ring backend (prebound positional
+    emitter) vs the legacy dict backend, plus the ring's lazy decode —
+    the cost a consumer pays once when it first asks for records."""
+    from repro.telemetry.trace import TraceBus
+
+    fields = (("station", "q"), ("pid", "q"), ("sojourn_us", "d"))
+
+    def emit_all(bus) -> float:
+        emit = bus.channel("queue").emitter("dequeue", fields)
+        start = time.perf_counter()
+        for i in range(n_events):
+            emit(float(i), i & 31, i, 12.5)
+        return time.perf_counter() - start
+
+    ring = TraceBus(backend="ring")
+    ring_wall = emit_all(ring)
+    start = time.perf_counter()
+    decoded = ring.records
+    decode_wall = time.perf_counter() - start
+    dict_wall = emit_all(TraceBus(backend="dict"))
+    if len(decoded) != n_events:
+        raise RuntimeError("ring decode lost records")
+    return {
+        "n_events": n_events,
+        "ring_emit_events_per_sec": round(n_events / ring_wall),
+        "dict_emit_events_per_sec": round(n_events / dict_wall),
+        "ring_decode_events_per_sec": round(n_events / decode_wall),
+        "emit_speedup": round(dict_wall / ring_wall, 2),
+    }
+
+
+def bench_batch_arrivals(n_arrivals: int = 200_000) -> dict:
+    """Arrival generation: a BatchSource replaying precomputed CBR
+    chunks vs one PeriodicTimer re-arm per packet."""
+    from repro.sim.batch import BatchSource
+    from repro.sim.engine import PeriodicTimer
+    from repro.traffic.arrivals import cbr_chunks
+
+    interval = 10.0
+    horizon = n_arrivals * interval + 0.5
+
+    def run_batch() -> float:
+        sim = Simulator()
+        fired = [0]
+
+        def on_arrival() -> None:
+            fired[0] += 1
+
+        source = BatchSource(
+            sim, cbr_chunks(interval, interval), on_arrival
+        ).start()
+        start = time.perf_counter()
+        sim.run(until_us=horizon)
+        wall = time.perf_counter() - start
+        source.stop()
+        if fired[0] != n_arrivals:
+            raise RuntimeError(f"batch fired {fired[0]} != {n_arrivals}")
+        return wall
+
+    def run_timer() -> float:
+        sim = Simulator()
+        fired = [0]
+
+        def on_arrival() -> None:
+            fired[0] += 1
+
+        timer = PeriodicTimer(sim, interval, on_arrival).start()
+        start = time.perf_counter()
+        sim.run(until_us=horizon)
+        wall = time.perf_counter() - start
+        timer.stop()
+        if fired[0] != n_arrivals:
+            raise RuntimeError(f"timer fired {fired[0]} != {n_arrivals}")
+        return wall
+
+    batch_wall = run_batch()
+    timer_wall = run_timer()
+    return {
+        "n_arrivals": n_arrivals,
+        "batch_arrivals_per_sec": round(n_arrivals / batch_wall),
+        "periodic_timer_arrivals_per_sec": round(n_arrivals / timer_wall),
+        "speedup": round(timer_wall / batch_wall, 2),
+    }
+
+
 # ----------------------------------------------------------------------
 # Workload benchmarks
 # ----------------------------------------------------------------------
@@ -187,6 +273,17 @@ def main(argv: list[str] | None = None) -> int:
     print("engine: cancel-heavy dispatch ...", flush=True)
     cancel_eps = bench_cancel_heavy()
     print(f"  {cancel_eps:,.0f} rounds/sec")
+    print("telemetry: ring vs dict trace emission ...", flush=True)
+    trace_ring = bench_trace_ring()
+    print(f"  ring {trace_ring['ring_emit_events_per_sec']:,} vs dict "
+          f"{trace_ring['dict_emit_events_per_sec']:,} events/sec "
+          f"({trace_ring['emit_speedup']}x; decode "
+          f"{trace_ring['ring_decode_events_per_sec']:,}/sec)")
+    print("traffic: batched vs per-packet arrival generation ...", flush=True)
+    batch = bench_batch_arrivals()
+    print(f"  batch {batch['batch_arrivals_per_sec']:,} vs timer "
+          f"{batch['periodic_timer_arrivals_per_sec']:,} arrivals/sec "
+          f"({batch['speedup']}x)")
     print("workload: single run ...", flush=True)
     single = bench_single_run()
     print(f"  {single['events_per_sec']:,} events/sec "
@@ -217,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
             "dispatch_events_per_sec": round(dispatch_eps),
             "cancel_heavy_rounds_per_sec": round(cancel_eps),
         },
+        "trace_ring": trace_ring,
+        "batch_arrivals": batch,
         "single_run": single,
         "telemetry_overhead": overhead,
         "report": report,

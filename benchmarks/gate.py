@@ -1,18 +1,35 @@
-"""Latency/airtime regression gate over recorded traces.
+"""Latency/airtime regression gate over recorded traces — and the
+throughput perf floor.
 
-Compares a candidate trace (or directory of traces) against a baseline:
-per-station mean/P95 latency attribution per segment (via
-:mod:`repro.analysis.attribution`) and per-station airtime shares (via
-the trace summariser).  Exits non-zero when any configured threshold is
-breached, so CI can pin the latency waterfall the same way it pins the
-experiment tables::
+**Trace mode** compares a candidate trace (or directory of traces)
+against a baseline: per-station mean/P95 latency attribution per segment
+(via :mod:`repro.analysis.attribution`) and per-station airtime shares
+(via the trace summariser).  Exits non-zero when any configured
+threshold is breached, so CI can pin the latency waterfall the same way
+it pins the experiment tables::
 
     PYTHONPATH=src python benchmarks/gate.py baseline/ candidate/ \
         [--threshold-pct 25] [--min-us 500] [--share-threshold 0.05]
 
 Directories are matched by file name: every ``*.trace.jsonl`` in the
-baseline must exist in the candidate.  Exit codes: 0 ok, 2 usage /
-missing files, 4 threshold breach.
+baseline must exist in the candidate.
+
+**Perf mode** gates the events/sec floors: a candidate
+``bench_speed.py`` result (JSON) must not fall more than a relative
+tolerance below the committed ``BENCH_speed.json`` baseline::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py --skip-report \
+        -o /tmp/bench.json
+    PYTHONPATH=src python benchmarks/gate.py perf /tmp/bench.json \
+        [--baseline BENCH_speed.json] [--tolerance-pct 40]
+
+The generous default tolerance absorbs shared-runner noise while still
+catching the multi-x collapses a hot-path regression causes.  Metrics
+present in the baseline but missing from the candidate fail loudly;
+metrics new to the candidate pass (no baseline to gate against yet).
+
+Exit codes (both modes): 0 ok, 2 usage / missing files, 4 threshold
+breach.
 
 This file intentionally defines no pytest cases: it is a gate driver.
 """
@@ -20,6 +37,7 @@ This file intentionally defines no pytest cases: it is a gate driver.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Tuple
@@ -30,6 +48,17 @@ from repro.analysis.attribution import (
     diff_attributions,
 )
 from repro.telemetry import summarize_file
+
+#: events/sec floors gated by ``perf`` mode: (section, key) paths into
+#: the bench_speed payload.  Bigger is better for every one of these.
+PERF_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("engine", "dispatch_events_per_sec"),
+    ("engine", "cancel_heavy_rounds_per_sec"),
+    ("trace_ring", "ring_emit_events_per_sec"),
+    ("batch_arrivals", "batch_arrivals_per_sec"),
+    ("single_run", "events_per_sec"),
+    ("telemetry_overhead", "traced_spans_ledger_events_per_sec"),
+)
 
 
 def _pairs(old: str, new: str) -> List[Tuple[Path, Path]]:
@@ -44,7 +73,77 @@ def _pairs(old: str, new: str) -> List[Tuple[Path, Path]]:
     return pairs
 
 
+def _metric(payload: dict, section: str, key: str):
+    entry = payload.get(section)
+    return entry.get(key) if isinstance(entry, dict) else None
+
+
+def perf_main(argv: List[str]) -> int:
+    """Gate a bench_speed result against the committed baseline."""
+    parser = argparse.ArgumentParser(
+        prog="gate.py perf",
+        description="events/sec perf floor with a relative tolerance",
+    )
+    parser.add_argument("current", help="candidate bench_speed JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_speed.json"),
+        help="baseline bench_speed JSON (default: committed "
+             "BENCH_speed.json)")
+    parser.add_argument("--tolerance-pct", type=float, default=40.0,
+                        help="max events/sec drop below baseline "
+                             "(default 40%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+    except OSError as exc:
+        print(f"gate: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    try:
+        current = json.loads(Path(args.current).read_text())
+    except OSError as exc:
+        print(f"gate: cannot read candidate: {exc}", file=sys.stderr)
+        return 2
+
+    breaches = 0
+    checked = 0
+    for section, key in PERF_METRICS:
+        base = _metric(baseline, section, key)
+        if base is None:
+            continue  # metric not in the committed baseline yet
+        cand = _metric(current, section, key)
+        name = f"{section}.{key}"
+        if cand is None:
+            print(f"REGRESSION {name}: missing from candidate")
+            breaches += 1
+            continue
+        checked += 1
+        floor = base * (1.0 - args.tolerance_pct / 100.0)
+        if cand < floor:
+            drop = (1.0 - cand / base) * 100.0
+            print(f"REGRESSION {name}: {cand:,.0f} < floor {floor:,.0f} "
+                  f"({base:,.0f} baseline, -{drop:.0f}% > "
+                  f"{args.tolerance_pct:g}% tolerance)")
+            breaches += 1
+        else:
+            print(f"ok {name}: {cand:,.0f} "
+                  f"(baseline {base:,.0f}, floor {floor:,.0f})")
+    if breaches:
+        print(f"gate: {breaches} perf floor breach(es)")
+        return 4
+    if not checked:
+        print("gate: no gateable metrics found in baseline", file=sys.stderr)
+        return 2
+    print(f"gate: all {checked} perf metrics at or above the floor")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "perf":
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="baseline trace file or directory")
     parser.add_argument("new", help="candidate trace file or directory")

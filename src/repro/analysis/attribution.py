@@ -23,7 +23,6 @@ from repro.telemetry.spans import (
     SEGMENTS,
     Span,
     SpanCollector,
-    iter_spans,
 )
 
 __all__ = [
@@ -56,7 +55,7 @@ def _bin_value(index: int) -> float:
     return 2.0 ** ((index + 0.5) / _BINS_PER_OCTAVE)
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentStats:
     """Streaming stats for one (station, segment) time series."""
 
@@ -119,7 +118,7 @@ class SegmentStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class StationAttribution:
     """Per-station latency breakdown over delivered packets."""
 
@@ -164,7 +163,7 @@ class StationAttribution:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Attribution:
     """The full latency-attribution result for one trace."""
 
@@ -239,20 +238,51 @@ def attribute_records(
     enqueued during warm-up (essential for the bloated-FIFO schemes,
     whose sojourn exceeds any reasonable window).  Without a marker
     every span counts.
+
+    A windowed trace discards the whole-trace statistics entirely (only
+    the open-span / unmatched counters survive into the result), so
+    spans that close before the marker status is known are buffered and
+    dropped the moment the marker appears, and post-marker spans feed
+    the windowed aggregation only — identical output to aggregating
+    both views, at roughly half the cost on warm-up-heavy traces.
     """
     collector = SpanCollector()
-    whole = Attribution()
-    window = Attribution(windowed=True)
-    for span in iter_spans(records, collector):
-        whole.observe(span)
-        if span.in_window:
-            window.observe(span)
-    chosen = window if collector.window_start_us is not None else whole
-    # Open spans are a property of the trace, not of the window.
-    chosen.open_spans = whole.open_spans
-    chosen.unmatched = collector.unmatched
-    chosen.pre_enqueue_drops = collector.pre_enqueue_drops
-    return chosen
+    feed = collector.feed
+    t_last: Optional[float] = None
+    #: Closed spans seen before the marker status is known.  If no
+    #: marker ever appears they replay, in order, into the whole-trace
+    #: result; pre-marker spans always close with ``in_window`` False,
+    #: so once a marker shows up they are pure warm-up history.
+    buffered: List[Span] = []
+    windowed = False
+    iterator = iter(records)
+    for record in iterator:
+        t_last = record["t"]
+        spans = feed(record)
+        if spans:
+            buffered.extend(spans)
+        elif collector.window_start_us is not None:
+            # The marker record itself closes no spans, so breaking here
+            # loses nothing; the rest of the trace takes the tight loop.
+            windowed = True
+            break
+    result = Attribution(windowed=windowed)
+    if windowed:
+        observe = result.observe
+        for record in iterator:
+            t_last = record["t"]
+            for span in feed(record):
+                if span.in_window:
+                    observe(span)
+    else:
+        for span in buffered:
+            result.observe(span)
+    # Open spans are a property of the trace, not of the window (open
+    # spans never carry ``in_window``, so they contribute no stats).
+    result.open_spans = len(collector.finish(t_last))
+    result.unmatched = collector.unmatched
+    result.pre_enqueue_drops = collector.pre_enqueue_drops
+    return result
 
 
 def attribute_file(path: str) -> Attribution:

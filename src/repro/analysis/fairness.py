@@ -23,6 +23,12 @@ def jain_index(values: Iterable[float]) -> float:
         raise ValueError("Jain's index is undefined for NaN values")
     if any(x < 0 for x in xs):
         raise ValueError("Jain's index requires non-negative values")
+    peak = max(xs)
+    if 0.0 < peak < 1e-100:
+        # Rescale tiny allocations (the index is scale-invariant) so the
+        # squares below cannot underflow to subnormals, where the lost
+        # precision can push the ratio past 1.
+        xs = [x / peak for x in xs]
     total = sum(xs)
     squares = sum(x * x for x in xs)
     if squares == 0:

@@ -173,29 +173,34 @@ class AirtimeScheduler:
     # ------------------------------------------------------------------
     def schedule(self) -> None:
         """Fill the hardware queue (Algorithm 3's ``schedule`` function)."""
-        while not self._hw_full():
-            if self.new_stations:
-                station = self.new_stations[0]
-            elif self.old_stations:
-                station = self.old_stations[0]
+        hw_full = self._hw_full
+        new_stations = self.new_stations
+        old_stations = self.old_stations
+        deficits = self.deficits
+        has_backlog = self._has_backlog
+        build_aggregate = self._build_aggregate
+        while not hw_full():
+            if new_stations:
+                station = new_stations[0]
+            elif old_stations:
+                station = old_stations[0]
             else:
                 return
 
-            if self.deficits.get(station, 0.0) <= 0:
-                self.deficits[station] = (
-                    self.deficits.get(station, 0.0) + self.quantum_us
-                )
+            deficit = deficits.get(station, 0.0)
+            if deficit <= 0:
+                deficits[station] = deficit + self.quantum_us
                 self._move_to_old(station)
                 continue
 
-            if not self._has_backlog(station):
+            if not has_backlog(station):
                 if self._membership.get(station) == "new":
                     self._move_to_old(station)
                 else:
                     self._remove(station)
                 continue
 
-            built = self._build_aggregate(station)
+            built = build_aggregate(station)
             if built <= 0:
                 # Defensive: backlogged station yielded nothing (should not
                 # happen); drop it from scheduling instead of spinning.

@@ -129,7 +129,6 @@ class Packet:
         self,
         flow_id: int,
         size: int,
-        *,
         dst_station: Optional[int] = None,
         src_station: Optional[int] = None,
         ac: AccessCategory = AccessCategory.BE,

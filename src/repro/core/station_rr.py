@@ -68,16 +68,36 @@ class RoundRobinScheduler:
         return {}
 
     def schedule(self) -> None:
-        """Fill the hardware queue, one aggregate per backlogged station."""
-        while not self._hw_full() and self._ring:
-            station = self._ring[0]
-            if not self._has_backlog(station):
-                self._ring.popleft()
-                self._queued[station] = False
+        """Fill the hardware queue, one aggregate per backlogged station.
+
+        Structured for the per-packet no-op case: at saturation nearly
+        every call finds the hardware queue already full and returns
+        after two cheap tests, before any local hoisting.
+        """
+        ring = self._ring
+        if not ring:
+            return
+        hw_full = self._hw_full
+        if hw_full():
+            return
+        has_backlog = self._has_backlog
+        build_aggregate = self._build_aggregate
+        queued = self._queued
+        while True:
+            station = ring[0]
+            if not has_backlog(station):
+                # hw_full is pure, so skipping its re-check here is
+                # outcome-identical to re-testing the loop condition.
+                ring.popleft()
+                queued[station] = False
+                if not ring:
+                    return
                 continue
-            built = self._build_aggregate(station)
-            self._ring.rotate(-1)
+            built = build_aggregate(station)
+            ring.rotate(-1)
             if built <= 0:
                 # Defensive against a disagreeing backlog/build pair.
-                self._ring.remove(station)
-                self._queued[station] = False
+                ring.remove(station)
+                queued[station] = False
+            if not ring or hw_full():
+                return

@@ -119,14 +119,20 @@ class Testbed:
             self.ap.set_trace(self.telemetry)
             tx_channel = self.telemetry.channel("tx")
             if tx_channel is not None:
-                def on_tx(rec, _emit=tx_channel.emit):
+                em_tx = tx_channel.emitter("tx", (
+                    ("station", "q"), ("airtime_us", "d"), ("tx_us", "d"),
+                    ("down", "b"), ("agg", "q"), ("n_pkts", "q"),
+                    ("bytes", "q"), ("ac", "s"), ("ok", "b"),
+                    ("retries", "q"),
+                ))
+
+                def on_tx(rec, _emit=em_tx):
                     _emit(
-                        rec.start_us + rec.airtime_us, "tx",
-                        station=rec.station, airtime_us=rec.airtime_us,
-                        tx_us=rec.tx_time_us, down=rec.downlink,
-                        agg=rec.agg_seq, n_pkts=rec.n_packets,
-                        bytes=rec.payload_bytes, ac=rec.ac.name,
-                        ok=rec.success, retries=rec.retries,
+                        rec.start_us + rec.airtime_us,
+                        rec.station, rec.airtime_us, rec.tx_time_us,
+                        rec.downlink, rec.agg_seq, rec.n_packets,
+                        rec.payload_bytes, rec.ac.name, rec.success,
+                        rec.retries,
                     )
                 self.medium.add_observer(on_tx)
             if self.telemetry.ledger is not None:

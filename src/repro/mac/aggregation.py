@@ -14,6 +14,7 @@ PHY frame, acknowledged with a legacy ACK.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, List, Optional
 
 from repro.core.packet import AccessCategory, Packet, agg_seq_allocator
@@ -105,11 +106,16 @@ class Aggregate:
             return len(self.mpdu_payload_sizes)
         return len(self.packets)
 
-    @property
+    # The byte/time properties below are cached: an aggregate is only
+    # mutated while ``AggregateBuilder.build`` assembles it, and the
+    # first timing query happens after build — from then on the values
+    # are fixed, while the medium and the airtime scheduler each re-read
+    # ``duration_us`` per transmission.
+    @cached_property
     def payload_bytes(self) -> int:
         return sum(p.size for p in self.packets)
 
-    @property
+    @cached_property
     def mpdu_bytes(self) -> int:
         if self.mpdu_payload_sizes is not None:
             return sum(mpdu_length(s) for s in self.mpdu_payload_sizes)
@@ -119,12 +125,12 @@ class Aggregate:
     def aggregated(self) -> bool:
         return self.rate.ht and self.ac.aggregates
 
-    @property
+    @cached_property
     def data_time_us(self) -> float:
         """PHY header + MPDU payload time (eq. 2 for uniform packets)."""
         return T_PHY_US + 8 * self.mpdu_bytes / self.rate.bps * 1e6
 
-    @property
+    @cached_property
     def duration_us(self) -> float:
         """Data time plus SIFS + (block) ack."""
         if self.aggregated:
@@ -173,17 +179,15 @@ class AggregateBuilder:
         Returns ``None`` when neither the holdback slot nor ``dequeue``
         yields any packet.
         """
-        agg = Aggregate(station=station, ac=ac, rate=rate)
         key = (station, ac)
-
-        def next_packet() -> Optional[Packet]:
-            held = self._holdback.pop(key, None)
-            if held is not None:
-                return held
-            return dequeue()
+        # Within one build the holdback slot can only yield the *first*
+        # packet (it is refilled, if at all, on the way out), so it is
+        # popped once here instead of once per packet inside the loop.
+        held = self._holdback.pop(key, None)
+        agg = Aggregate(station=station, ac=ac, rate=rate)
 
         if not (rate.ht and ac.aggregates):
-            pkt = next_packet()
+            pkt = held if held is not None else dequeue()
             if pkt is None:
                 return None
             agg.packets.append(pkt)
@@ -191,30 +195,45 @@ class AggregateBuilder:
 
         limits = self.limits
         if limits.amsdu_enabled:
+            def next_packet() -> Optional[Packet]:
+                nonlocal held
+                if held is not None:
+                    first, held = held, None
+                    return first
+                return dequeue()
             return self._build_two_level(agg, key, rate, next_packet)
 
+        packets = agg.packets
+        holdback = self._holdback
+        mpdu_len = mpdu_length
+        rate_bps = rate.bps
+        max_subframes = limits.max_subframes
+        max_bytes = limits.max_bytes
+        max_txop_us = limits.max_txop_us
         mpdu_total = 0
-        while agg.n_packets < limits.max_subframes:
-            pkt = next_packet()
+        n_packets = 0
+        pkt = held
+        while n_packets < max_subframes:
             if pkt is None:
+                pkt = dequeue()
+                if pkt is None:
+                    break
+            new_total = mpdu_total + mpdu_len(pkt.size)
+            data_us = T_PHY_US + 8 * new_total / rate_bps * 1e6
+            over = new_total > max_bytes or data_us > max_txop_us
+            if over and n_packets > 0:
+                holdback[key] = pkt
                 break
-            pkt_mpdu = mpdu_length(pkt.size)
-            new_total = mpdu_total + pkt_mpdu
-            data_us = T_PHY_US + 8 * new_total / rate.bps * 1e6
-            over = (
-                new_total > limits.max_bytes or data_us > limits.max_txop_us
-            )
-            if over and agg.n_packets > 0:
-                self._holdback[key] = pkt
-                break
-            agg.packets.append(pkt)
+            packets.append(pkt)
+            n_packets += 1
             mpdu_total = new_total
+            pkt = None
             if over:
                 # A single packet already exceeds the caps (possible only
                 # at very low rates); send it alone rather than stalling.
                 break
 
-        return agg if agg.packets else None
+        return agg if packets else None
 
     # ------------------------------------------------------------------
     # Two-level (A-MSDU inside A-MPDU) aggregation

@@ -142,7 +142,7 @@ class AccessPoint:
             self.scheduler: object = AirtimeScheduler(
                 has_backlog=self._station_has_backlog,
                 build_aggregate=self._build_aggregate_for,
-                hw_full=lambda: self._hw.full(AccessCategory.BE),
+                hw_full=self._hw.be_full,
                 quantum_us=self.config.airtime_quantum_us,
                 sparse_enabled=self.config.sparse_enabled,
                 account_rx=self.config.account_rx_airtime,
@@ -151,7 +151,7 @@ class AccessPoint:
             self.scheduler = RoundRobinScheduler(
                 has_backlog=self._station_has_backlog,
                 build_aggregate=self._build_aggregate_for,
-                hw_full=lambda: self._hw.full(AccessCategory.BE),
+                hw_full=self._hw.be_full,
             )
 
         # --- VO fast path ---------------------------------------------
@@ -171,6 +171,8 @@ class AccessPoint:
         # Telemetry (None when disabled; see set_trace).
         self._telemetry = None
         self._tr_agg = None
+        self._em_built = None
+        self._em_tx_done = None
         self._tr_queue = None
         #: Airtime ledger (None when disabled; see set_ledger).
         self._ledger = None
@@ -234,7 +236,21 @@ class AccessPoint:
         metrics = telemetry.metrics if telemetry is not None else None
         now_fn = lambda: self.sim.now
 
-        self._tr_agg = trace.channel("agg") if trace is not None else None
+        agg_channel = trace.channel("agg") if trace is not None else None
+        self._tr_agg = agg_channel
+        if agg_channel is not None:
+            # Prebound shapes for the two per-transmission agg records.
+            self._em_built = agg_channel.emitter("built", (
+                ("station", "q"), ("ac", "s"), ("agg", "q"), ("pids", "o"),
+                ("n_pkts", "q"), ("bytes", "q"), ("airtime_us", "d"),
+            ))
+            self._em_tx_done = agg_channel.emitter("tx_done", (
+                ("station", "q"), ("ac", "s"), ("agg", "q"),
+                ("n_pkts", "q"), ("ok", "b"), ("retries", "q"),
+            ))
+        else:
+            self._em_built = None
+            self._em_tx_done = None
         if self.qdisc is not None:
             self.qdisc.set_trace(trace, now_fn=now_fn, metrics=metrics)
         if self.driver is not None:
@@ -247,13 +263,16 @@ class AccessPoint:
             queue_channel = trace.channel("queue")
             self._tr_queue = queue_channel
             if queue_channel is not None:
+                em_drop = queue_channel.emitter("drop", (
+                    ("layer", "s"), ("reason", "s"), ("station", "o"),
+                    ("flow", "q"), ("pid", "q"),
+                ))
+
                 def on_drop(pkt: Packet, layer: str, reason: str) -> None:
                     station = (pkt.dst_station if pkt.dst_station is not None
                                else pkt.src_station)
-                    queue_channel.emit(
-                        self.sim.now, "drop", layer=layer, reason=reason,
-                        station=station, flow=pkt.flow_id, pid=pkt.pid,
-                    )
+                    em_drop(self.sim.now, layer, reason, station,
+                            pkt.flow_id, pkt.pid)
                 self.drops.add_observer(on_drop)
         if metrics is not None:
             def count_drop(pkt: Packet, layer: str, reason: str) -> None:
@@ -292,12 +311,20 @@ class AccessPoint:
             self.mac_fq.enqueue(pkt, tid)
             self.scheduler.wake(station)
         else:
-            assert self.qdisc is not None and self.driver is not None
+            # FIFO / FQ-CoDel: qdisc above the legacy driver.  The pull
+            # is guarded inline: at saturation the driver is full for
+            # almost every arrival and the call would be a no-op.
             self.qdisc.enqueue(pkt)
-            self._pull_driver()
+            driver = self.driver
+            if driver.backlog < driver.limit:
+                self._pull_driver()
 
         self._fill_hw()
-        self.medium.notify_backlog()
+        # Inlined ``medium.notify_backlog()`` guard: mid-run the channel
+        # is nearly always busy, and this path runs once per arrival.
+        medium = self.medium
+        if not medium._busy and not medium._arbitration_scheduled:
+            medium.notify_backlog()
 
     def _enqueue_vo(self, pkt: Packet, station: int) -> None:
         # The VO queue is short and unmanaged in all schemes except the
@@ -345,14 +372,19 @@ class AccessPoint:
     _DATA_ACS = (AccessCategory.VI, AccessCategory.BE, AccessCategory.BK)
 
     def _ac_backlog(self, station: int, ac: AccessCategory) -> int:
-        backlog = self._builder.holdback_backlog(station, ac)
+        # Inline of ``builder.holdback_backlog``: this runs up to three
+        # times per scheduling decision (one walk over the data ACs).
+        backlog = 1 if (station, ac) in self._builder._holdback else 0
         if self.mac_fq is not None:
             return backlog + self.mac_fq.tid(station, ac).backlog
-        assert self.driver is not None
         return backlog + self.driver.station_backlog(station, ac)
 
     def _station_has_backlog(self, station: int) -> bool:
-        return any(self._ac_backlog(station, ac) > 0 for ac in self._DATA_ACS)
+        ac_backlog = self._ac_backlog
+        for ac in self._DATA_ACS:
+            if ac_backlog(station, ac) > 0:
+                return True
+        return False
 
     def _dequeue(self, station: int, ac: AccessCategory) -> Optional[Packet]:
         if self.mac_fq is not None:
@@ -367,10 +399,12 @@ class AccessPoint:
         hardware queue is momentarily full, the station is parked and
         retried on the next fill pass.
         """
-        ac = next(
-            (a for a in self._DATA_ACS if self._ac_backlog(station, a) > 0),
-            None,
-        )
+        ac = None
+        ac_backlog = self._ac_backlog
+        for a in self._DATA_ACS:
+            if ac_backlog(station, a) > 0:
+                ac = a
+                break
         if ac is None:
             return 0
         if self._hw.full(ac):
@@ -384,13 +418,10 @@ class AccessPoint:
         )
         if agg is None:
             return 0
-        if self._tr_agg is not None:
-            self._tr_agg.emit(
-                self.sim.now, "built", station=station, ac=ac.name,
-                agg=agg.seq, pids=[p.pid for p in agg.packets],
-                n_pkts=agg.n_packets, bytes=agg.payload_bytes,
-                airtime_us=agg.duration_us,
-            )
+        if self._em_built is not None:
+            self._em_built(self.sim.now, station, ac.name, agg.seq,
+                           [p.pid for p in agg.packets], agg.n_packets,
+                           agg.payload_bytes, agg.duration_us)
         self._hw.push(agg)
         if self.driver is not None:
             self._pull_driver()
@@ -398,17 +429,23 @@ class AccessPoint:
 
     def _pull_driver(self) -> None:
         """Pull the qdisc into the driver, waking attached stations."""
-        assert self.driver is not None
-        for woken in self.driver.pull():
-            if woken not in self._detached:
-                self.scheduler.wake(woken)
+        driver = self.driver
+        if driver.backlog >= driver.limit:
+            return  # no room: pull() would be a no-op
+        detached = self._detached
+        wake = self.scheduler.wake
+        for woken in driver.pull():
+            if woken not in detached:
+                wake(woken)
 
     # ------------------------------------------------------------------
     # Hardware queue management
     # ------------------------------------------------------------------
     def _fill_hw(self) -> None:
         # VO first: strict priority, one (unaggregated) frame per turn.
-        while not self._hw.full(AccessCategory.VO) and self._vo_ring:
+        # (Ring-first check: with no VO traffic — the common case — the
+        # loop head costs one truthiness test, not a queue-depth probe.)
+        while self._vo_ring and not self._hw.vo_full():
             station = self._vo_ring[0]
             pkt = self._dequeue_vo(station)
             if pkt is None:
@@ -420,13 +457,10 @@ class AccessPoint:
                 rate=self.rate_for(station),
                 packets=[pkt],
             )
-            if self._tr_agg is not None:
-                self._tr_agg.emit(
-                    self.sim.now, "built", station=station,
-                    ac=AccessCategory.VO.name, agg=agg.seq, pids=[pkt.pid],
-                    n_pkts=1, bytes=agg.payload_bytes,
-                    airtime_us=agg.duration_us,
-                )
+            if self._em_built is not None:
+                self._em_built(self.sim.now, station, AccessCategory.VO.name,
+                               agg.seq, [pkt.pid], 1, agg.payload_bytes,
+                               agg.duration_us)
             self._hw.push(agg)
             if self._vo_backlog(station) == 0:
                 self._vo_ring.popleft()
@@ -466,12 +500,9 @@ class AccessPoint:
             )
         if self._ledger is not None:
             self._ledger.charge_ap_tx(agg.station, agg.duration_us, success)
-        if self._tr_agg is not None:
-            self._tr_agg.emit(
-                self.sim.now, "tx_done", station=agg.station,
-                ac=agg.ac.name, agg=agg.seq, n_pkts=agg.n_packets,
-                ok=success, retries=agg.retries,
-            )
+        if self._em_tx_done is not None:
+            self._em_tx_done(self.sim.now, agg.station, agg.ac.name, agg.seq,
+                             agg.n_packets, success, agg.retries)
         if success:
             self.stations[agg.station].receive_from_ap(agg)
         else:

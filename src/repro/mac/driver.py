@@ -48,12 +48,25 @@ class LegacyDriver:
         # Telemetry (None when disabled).
         self._tr_driver = None
         self._now = None
+        self._em_pull = None
+        self._em_dequeue = None
 
     # ------------------------------------------------------------------
     def set_trace(self, trace, now_fn=None) -> None:
         """Attach a trace bus; ``now_fn`` supplies emit timestamps."""
-        self._tr_driver = trace.channel("driver") if trace is not None else None
+        channel = trace.channel("driver") if trace is not None else None
+        self._tr_driver = channel
         self._now = now_fn
+        if channel is not None:
+            self._em_pull = channel.emitter("pull", (
+                ("pulled", "q"), ("backlog", "q"),
+            ))
+            self._em_dequeue = channel.emitter("dequeue", (
+                ("station", "q"), ("pid", "q"),
+            ))
+        else:
+            self._em_pull = None
+            self._em_dequeue = None
 
     # ------------------------------------------------------------------
     def pull(self) -> List[int]:
@@ -64,26 +77,28 @@ class LegacyDriver:
         """
         woken: List[int] = []
         pulled = 0
-        while self.backlog < self.limit:
-            pkt = self.qdisc.dequeue()
+        backlog = self.backlog
+        limit = self.limit
+        dequeue = self.qdisc.dequeue
+        queues = self._queues
+        while backlog < limit:
+            pkt = dequeue()
             if pkt is None:
                 break
-            assert pkt.dst_station is not None
-            key = (pkt.dst_station, pkt.ac)
-            queue = self._queues.get(key)
+            dst = pkt.dst_station
+            key = (dst, pkt.ac)
+            queue = queues.get(key)
             if queue is None:
-                queue = deque()
-                self._queues[key] = queue
+                queue = queues[key] = deque()
             queue.append(pkt)
-            self.backlog += 1
+            backlog += 1
             pulled += 1
-            if pkt.dst_station not in woken:
-                woken.append(pkt.dst_station)
-        if pulled and self._tr_driver is not None:
-            self._tr_driver.emit(
-                self._now() if self._now is not None else 0.0, "pull",
-                pulled=pulled, backlog=self.backlog,
-            )
+            if dst not in woken:
+                woken.append(dst)
+        self.backlog = backlog
+        if pulled and self._em_pull is not None:
+            self._em_pull(self._now() if self._now is not None else 0.0,
+                          pulled, backlog)
         return woken
 
     def dequeue(self, station: int, ac: AccessCategory) -> Optional[Packet]:
@@ -92,13 +107,11 @@ class LegacyDriver:
             return None
         self.backlog -= 1
         pkt = queue.popleft()
-        if self._tr_driver is not None:
+        if self._em_dequeue is not None:
             # Per-packet record: span reconstruction measures the driver
             # FIFO wait as t(driver dequeue) - t(qdisc dequeue).
-            self._tr_driver.emit(
-                self._now() if self._now is not None else 0.0, "dequeue",
-                station=station, pid=pkt.pid,
-            )
+            self._em_dequeue(self._now() if self._now is not None else 0.0,
+                             station, pkt.pid)
         return pkt
 
     def station_backlog(self, station: int, ac: AccessCategory) -> int:

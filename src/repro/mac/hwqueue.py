@@ -37,18 +37,46 @@ class HardwareQueue:
         self._queues: dict[AccessCategory, Deque[Aggregate]] = {
             ac: deque() for ac in AccessCategory
         }
+        # Hot-path views of the same deques: the schedulers poll
+        # ``full``/``pop``/``head_ac`` once or more per packet, so the
+        # priority walk binds the deques directly instead of doing a dict
+        # lookup per AC on every call.
+        self._prio: tuple = (
+            (AccessCategory.VO, self._queues[AccessCategory.VO]),
+            (AccessCategory.VI, self._queues[AccessCategory.VI]),
+            (AccessCategory.BE, self._queues[AccessCategory.BE]),
+            (AccessCategory.BK, self._queues[AccessCategory.BK]),
+        )
+        self._vo_q = self._queues[AccessCategory.VO]
+        self._vi_q = self._queues[AccessCategory.VI]
+        self._be_q = self._queues[AccessCategory.BE]
+        self._bk_q = self._queues[AccessCategory.BK]
         #: Aggregates dropped after exceeding the retry limit.
         self.retry_drops = 0
 
         # Telemetry (None when disabled).
         self._tr_hw = None
         self._now = None
+        self._em_push = None
+        self._em_pop = None
 
     # ------------------------------------------------------------------
     def set_trace(self, trace, now_fn=None) -> None:
         """Attach a trace bus; ``now_fn`` supplies emit timestamps."""
-        self._tr_hw = trace.channel("hw") if trace is not None else None
+        channel = trace.channel("hw") if trace is not None else None
+        self._tr_hw = channel
         self._now = now_fn
+        if channel is not None:
+            self._em_push = channel.emitter("push", (
+                ("ac", "s"), ("station", "q"), ("agg", "q"),
+                ("n_pkts", "q"), ("depth", "q"),
+            ))
+            self._em_pop = channel.emitter("pop", (
+                ("ac", "s"), ("station", "q"), ("agg", "q"), ("depth", "q"),
+            ))
+        else:
+            self._em_push = None
+            self._em_pop = None
 
     def occupancy(self) -> int:
         """Aggregates currently queued across all ACs (sampler probe)."""
@@ -80,16 +108,23 @@ class HardwareQueue:
     def full(self, ac: AccessCategory) -> bool:
         return len(self._queues[ac]) >= self.depth
 
+    def be_full(self) -> bool:
+        """``full(BE)`` without the dict lookup — the station schedulers
+        poll this before every aggregate they build."""
+        return len(self._be_q) >= self.depth
+
+    def vo_full(self) -> bool:
+        """``full(VO)`` without the dict lookup (the VO fill loop)."""
+        return len(self._vo_q) >= self.depth
+
     def push(self, agg: Aggregate) -> None:
         if self.full(agg.ac):
             raise RuntimeError(f"hardware queue {agg.ac.name} is full")
         self._queues[agg.ac].append(agg)
-        if self._tr_hw is not None:
-            self._tr_hw.emit(
-                self._now() if self._now is not None else 0.0, "push",
-                ac=agg.ac.name, station=agg.station, agg=agg.seq,
-                n_pkts=len(agg.packets), depth=len(self._queues[agg.ac]),
-            )
+        if self._em_push is not None:
+            self._em_push(self._now() if self._now is not None else 0.0,
+                          agg.ac.name, agg.station, agg.seq,
+                          len(agg.packets), len(self._queues[agg.ac]))
 
     def requeue_retry(self, agg: Aggregate) -> bool:
         """Re-insert a failed aggregate at the head (the retry queue).
@@ -107,38 +142,24 @@ class HardwareQueue:
 
     def pop(self) -> Optional[Aggregate]:
         """Next aggregate to transmit: highest-priority non-empty AC."""
-        for ac in (
-            AccessCategory.VO,
-            AccessCategory.VI,
-            AccessCategory.BE,
-            AccessCategory.BK,
-        ):
-            queue = self._queues[ac]
+        for ac, queue in self._prio:
             if queue:
                 agg = queue.popleft()
-                if self._tr_hw is not None:
-                    self._tr_hw.emit(
-                        self._now() if self._now is not None else 0.0, "pop",
-                        ac=ac.name, station=agg.station, agg=agg.seq,
-                        depth=len(queue),
-                    )
+                if self._em_pop is not None:
+                    self._em_pop(self._now() if self._now is not None else 0.0,
+                                 ac.name, agg.station, agg.seq, len(queue))
                 return agg
         return None
 
     def head_ac(self) -> Optional[AccessCategory]:
         """AC of the aggregate :meth:`pop` would return, or ``None``."""
-        for ac in (
-            AccessCategory.VO,
-            AccessCategory.VI,
-            AccessCategory.BE,
-            AccessCategory.BK,
-        ):
-            if self._queues[ac]:
+        for ac, queue in self._prio:
+            if queue:
                 return ac
         return None
 
     def has_pending(self) -> bool:
-        return any(self._queues[ac] for ac in AccessCategory)
+        return bool(self._vo_q or self._vi_q or self._be_q or self._bk_q)
 
     def pending_aggregates(self, ac: AccessCategory) -> int:
         return len(self._queues[ac])

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable, List, Optional, Protocol
 
 from repro.core.packet import AccessCategory
@@ -40,6 +41,10 @@ from repro.phy.constants import CW_MIN, CW_MIN_VO, T_DIFS_US, T_SLOT_US
 from repro.sim.engine import Simulator
 
 __all__ = ["Medium", "Contender", "TransmissionRecord"]
+
+#: Backoff winner order: fewest slots first, RNG tiebreak second
+#: (C-level key — this sort runs once per arbitration).
+_DRAW_KEY = itemgetter(0, 1)
 
 
 class Contender(Protocol):
@@ -159,7 +164,7 @@ class Medium:
         if self._busy or self._arbitration_scheduled:
             return
         self._arbitration_scheduled = True
-        self.sim.call_soon(self._arbitrate)
+        self.sim.schedule_call(0.0, self._arbitrate)
 
     def _base_cw(self, ac: Optional[AccessCategory]) -> int:
         return CW_MIN_VO if ac is AccessCategory.VO else CW_MIN
@@ -195,21 +200,28 @@ class Medium:
         if not draws:
             return
 
-        draws.sort(key=lambda d: d[:2])
-        min_slots = draws[0][0]
-        tied = [d for d in draws if d[0] == min_slots]
+        draws.sort(key=_DRAW_KEY)
+        first = draws[0]
+        min_slots = first[0]
         wait_us = T_DIFS_US + min_slots * T_SLOT_US
         self._busy = True
-        if self.collisions and len(tied) > 1:
-            participants = [(d[2], d[3]) for d in tied]
-            self.sim.schedule(
-                wait_us, lambda: self._start_collision(participants, wait_us)
-            )
-        else:
-            _, _, winner, winner_is_ap = draws[0]
-            self.sim.schedule(
-                wait_us, lambda: self._start(winner, winner_is_ap, wait_us)
-            )
+        if self.collisions:
+            tied = [d for d in draws if d[0] == min_slots]
+            if len(tied) > 1:
+                participants = [(d[2], d[3]) for d in tied]
+                self.sim.schedule(
+                    wait_us, lambda: self._start_collision(participants, wait_us)
+                )
+                return
+        self.sim.schedule_call(
+            wait_us, self._start_entry, (first[2], first[3], wait_us)
+        )
+
+    def _start_entry(self, args: tuple) -> None:
+        self._start(args[0], args[1], args[2])
+
+    def _complete_entry(self, args: tuple) -> None:
+        self._complete(args[0], args[1], args[2], args[3])
 
     def _start_collision(
         self, participants: List[tuple[Contender, bool]], wait_us: float
@@ -279,8 +291,8 @@ class Medium:
             return
         self._track_inflight(agg, is_ap)
         duration = agg.duration_us
-        self.sim.schedule(
-            duration, lambda: self._complete(winner, is_ap, agg, wait_us)
+        self.sim.schedule_call(
+            duration, self._complete_entry, (winner, is_ap, agg, wait_us)
         )
 
     def _complete(
@@ -291,10 +303,11 @@ class Medium:
         else:
             error_prob = self.error_rate
         success = error_prob == 0.0 or self.rng.random() >= error_prob
+        duration = agg.duration_us
         record = TransmissionRecord(
-            start_us=self.sim.now - agg.duration_us - wait_us,
-            airtime_us=agg.duration_us + wait_us,
-            tx_time_us=agg.duration_us,
+            start_us=self.sim.now - duration - wait_us,
+            airtime_us=duration + wait_us,
+            tx_time_us=duration,
             station=agg.station,
             downlink=is_ap,
             n_packets=agg.n_packets,

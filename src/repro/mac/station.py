@@ -178,9 +178,11 @@ class ClientStation:
     # ------------------------------------------------------------------
     def receive_from_ap(self, agg: Aggregate) -> None:
         """Deliver a successfully received downlink aggregate."""
-        for pkt in agg.packets:
-            self.rx_packets += 1
-            handler = self._handlers.get(pkt.flow_id)
+        packets = agg.packets
+        self.rx_packets += len(packets)
+        handlers = self._handlers
+        for pkt in packets:
+            handler = handlers.get(pkt.flow_id)
             if handler is not None:
                 handler(pkt)
 

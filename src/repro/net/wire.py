@@ -65,12 +65,18 @@ class WiredNetwork:
         self.delay_us = delay_us
         server.network = self
         ap.set_network(self)
+        # Prebound delivery targets: the wire is crossed once per packet,
+        # so the hop schedules (callback, packet) entries instead of
+        # allocating a closure per packet.
+        self._deliver_down = ap.send_downstream
+        self._deliver_up = server.receive
+        self._schedule_call = sim.schedule_call
 
     def to_ap(self, pkt: Packet) -> None:
         """Server -> AP direction (downstream)."""
         pkt.created_us = self.sim.now
-        self.sim.schedule(self.delay_us, lambda: self.ap.send_downstream(pkt))
+        self._schedule_call(self.delay_us, self._deliver_down, pkt)
 
     def to_server(self, pkt: Packet) -> None:
         """AP -> server direction (upstream)."""
-        self.sim.schedule(self.delay_us, lambda: self.server.receive(pkt))
+        self._schedule_call(self.delay_us, self._deliver_up, pkt)

@@ -8,6 +8,8 @@ simulator and the model agree on timing by construction.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.phy.constants import (
     ACK_BYTES,
     BLOCK_ACK_BYTES,
@@ -35,11 +37,13 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def mpdu_length(payload_bytes: int) -> int:
     """Length of one MPDU subframe inside an A-MPDU, eq. (1) per-packet term.
 
     Adds the delimiter, MAC header, FCS, and pads the total to a multiple
-    of four bytes.
+    of four bytes.  Cached: the aggregation builder calls this once per
+    packet, and traffic uses a handful of distinct payload sizes.
     """
     raw = payload_bytes + L_DELIM + L_MAC + L_FCS
     pad = (-raw) % 4

@@ -33,19 +33,42 @@ class PfifoQdisc(Qdisc):
             raise ValueError("limit must be positive")
         self.limit = limit
         self._pkts: Deque[Packet] = deque()
+        # Prebound trace emitters (None when untraced); see set_trace.
+        self._em_enqueue = None
+        self._em_dequeue = None
+
+    def set_trace(self, trace, now_fn=None, metrics=None) -> None:
+        super().set_trace(trace, now_fn=now_fn, metrics=metrics)
+        channel = self._tr_queue
+        if channel is not None:
+            # Monomorphic record shapes, registered once: the enqueue and
+            # dequeue paths then pay positional appends instead of kwargs.
+            self._em_enqueue = channel.emitter("enqueue", (
+                ("layer", "c", "qdisc"), ("station", "o"), ("flow", "q"),
+                ("pid", "q"), ("backlog", "q"),
+            ))
+            self._em_dequeue = channel.emitter("dequeue", (
+                ("layer", "c", "qdisc"), ("station", "o"), ("pid", "q"),
+                ("sojourn_us", "d"),
+            ))
+        else:
+            self._em_enqueue = None
+            self._em_dequeue = None
 
     def enqueue(self, pkt: Packet) -> bool:
         if self.backlog_packets >= self.limit:
-            self._drop(pkt, "overlimit")
+            # Inlined ``self._drop(pkt, "overlimit")``: a saturating flow
+            # tail-drops most offered packets, so the drop path is hot.
+            self.drops += 1
+            on_drop = self.on_drop
+            if on_drop is not None:
+                on_drop(pkt, "overlimit")
             return False
         self._pkts.append(pkt)
         self.backlog_packets += 1
-        if self._tr_queue is not None:
-            self._tr_queue.emit(
-                self._trace_now(), "enqueue", layer="qdisc",
-                station=pkt.dst_station, flow=pkt.flow_id, pid=pkt.pid,
-                backlog=self.backlog_packets,
-            )
+        if self._em_enqueue is not None:
+            self._em_enqueue(self._trace_now(), pkt.dst_station, pkt.flow_id,
+                             pkt.pid, self.backlog_packets)
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -53,13 +76,11 @@ class PfifoQdisc(Qdisc):
             return None
         self.backlog_packets -= 1
         pkt = self._pkts.popleft()
-        if self._tr_queue is not None or self._sojourn_hist is not None:
+        if self._em_dequeue is not None or self._sojourn_hist is not None:
             now = self._trace_now()
-            if self._tr_queue is not None:
-                self._tr_queue.emit(
-                    now, "dequeue", layer="qdisc", station=pkt.dst_station,
-                    pid=pkt.pid, sojourn_us=now - pkt.enqueue_us,
-                )
+            if self._em_dequeue is not None:
+                self._em_dequeue(now, pkt.dst_station, pkt.pid,
+                                 now - pkt.enqueue_us)
             if self._sojourn_hist is not None:
                 self._sojourn_hist.observe(now - pkt.enqueue_us)
         return pkt

@@ -1,5 +1,6 @@
 """Discrete-event simulation substrate (event loop, clock, RNG streams)."""
 
+from repro.sim.batch import BatchSource
 from repro.sim.engine import (
     US_PER_MS,
     US_PER_SEC,
@@ -12,6 +13,7 @@ from repro.sim.engine import (
 from repro.sim.rng import RngFactory
 
 __all__ = [
+    "BatchSource",
     "Event",
     "PeriodicTimer",
     "RngFactory",

@@ -1,0 +1,133 @@
+"""Batched event sources: replay precomputed arrival timestamps.
+
+:class:`BatchSource` is the engine-side half of batched arrival
+generation (the traffic-side half — the chunked timestamp generators —
+lives in :mod:`repro.traffic.arrivals`).  A conventional
+:class:`~repro.sim.engine.PeriodicTimer` pays, per arrival, for an
+:class:`~repro.sim.engine.Event` allocation, a re-arm ``schedule`` call
+and a ``now + interval`` float add inside the callback chain.
+``BatchSource`` instead consumes an iterator of *chunks* — monotonically
+increasing absolute timestamps, precomputed in bulk (numpy) — and
+replays them through the :meth:`~repro.sim.engine.Simulator.schedule_call_at`
+fast path: no Event objects, no closures, one chunk-generation step per
+~thousands of arrivals.
+
+Scheduling contract (what keeps traces bit-identical to a
+``PeriodicTimer`` feeding the same callback):
+
+* exactly one heap entry is live per source at any time — the *next*
+  arrival; the source fires, runs ``callback``, then re-arms for the
+  following timestamp.  That is the same fire-then-re-arm order as
+  ``PeriodicTimer._fire``, so the engine's tie-break sequence numbers
+  are consumed in the same order and same quantity;
+* timestamps are replayed *verbatim* (absolute, no ``now + delay``
+  round-trip), so a chunk built by the same left-fold float arithmetic
+  as a repeated ``now + interval`` chain lands on identical floats;
+* :meth:`stop` is a flag, not a cancellation — an already-scheduled
+  fire pops, sees the flag and does nothing.  Sources don't allocate
+  Events, so there is nothing to cancel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.sim.engine import Simulator
+
+__all__ = ["BatchSource"]
+
+
+class BatchSource:
+    """Fire ``callback`` at each timestamp drawn from ``chunks``.
+
+    ``chunks`` is an iterator (or iterable) of non-empty sequences of
+    absolute simulation times in microseconds, globally non-decreasing.
+    The source drains one chunk at a time and pulls the next lazily, so
+    an infinite generator keeps memory flat; the source ends when the
+    iterator is exhausted.
+    """
+
+    __slots__ = (
+        "sim",
+        "callback",
+        "_chunks",
+        "_times",
+        "_index",
+        "_stopped",
+        "_schedule_at",
+        "_fired_base",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        chunks: Iterable[Sequence[float]],
+        callback: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self.callback = callback
+        self._chunks: Iterator[Sequence[float]] = iter(chunks)
+        self._times: Sequence[float] = ()
+        self._index = 0
+        self._stopped = True
+        self._schedule_at = sim.schedule_call_at
+        #: Arrivals fired in *completed* chunks; see :attr:`fired`.
+        self._fired_base = 0
+
+    @property
+    def fired(self) -> int:
+        """Arrivals delivered so far (diagnostics / tests).
+
+        Derived (completed chunks + position in the current one) instead
+        of counted, keeping one attribute update off the per-arrival
+        path.
+        """
+        return self._fired_base + self._index
+
+    def start(self) -> "BatchSource":
+        """Arm the first arrival.  A source with no chunks is a no-op."""
+        self._stopped = False
+        if not self._next_chunk():
+            self._stopped = True
+        return self
+
+    def stop(self) -> None:
+        """Stop firing.  The pending wake-up pops inert."""
+        self._stopped = True
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped
+
+    # ------------------------------------------------------------------
+    def _next_chunk(self) -> bool:
+        try:
+            times = next(self._chunks)
+        except StopIteration:
+            return False
+        if len(times) == 0:
+            raise ValueError("BatchSource chunks must be non-empty")
+        self._times = times
+        self._index = 0
+        self._schedule_at(times[0], self._fire)
+        return True
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        # Advance before the callback so ``fired`` counts this arrival
+        # while the callback runs; ``times[_index]`` is the *next* armed
+        # timestamp either way.
+        index = self._index + 1
+        self._index = index
+        self.callback()
+        if self._stopped:
+            return
+        times = self._times
+        if index < len(times):
+            self._schedule_at(times[index], self._fire)
+        else:
+            self._fired_base += index
+            self._index = 0
+            if not self._next_chunk():
+                self._stopped = True

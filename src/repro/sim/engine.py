@@ -12,17 +12,25 @@ float noise dominating comparisons.
 
 The event loop is the hot path of every experiment: a 30-second TCP run
 executes millions of callbacks, and TCP/CoDel timers cancel events
-constantly.  The loop therefore keeps :class:`Event` slotted, binds the
-queue and ``heappop`` to locals inside :meth:`Simulator.run`, and compacts
-the heap lazily once cancelled entries outnumber live ones.
+constantly.  The heap therefore holds plain ``(time, priority, seq,
+item, arg)`` tuples — tuple comparison stops at the unique ``seq``
+tie-breaker, so Python never calls a comparison method on an
+:class:`Event` during sifting.  ``item`` is either an :class:`Event`
+(the cancellable API returned by :meth:`Simulator.schedule`) or a bare
+callable pushed by the :meth:`Simulator.schedule_call` fast path, which
+skips the Event allocation entirely for fire-and-forget work (packet
+deliveries, timer ticks, TX completions).  The loop binds the queue and
+``heappop`` to locals inside :meth:`Simulator.run` and compacts the heap
+lazily once cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -40,6 +48,18 @@ _EVENTS_TOTAL = 0
 _COMPACT_MIN_CANCELLED = 64
 
 
+class _NoArg:
+    """Sentinel: a heap entry whose callback takes no argument."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<no-arg>"
+
+
+_NO_ARG = _NoArg()
+
+
 def events_processed_total() -> int:
     """Total events executed by all simulators in this process."""
     return _EVENTS_TOTAL
@@ -49,23 +69,25 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.
 
-    Events order by ``(time, priority, seq)``; ``seq`` is a monotonically
-    increasing tie-breaker so that events scheduled earlier run earlier,
-    giving deterministic replay for a fixed RNG seed.
+    Heap entries order by ``(time, priority, seq)``; ``seq`` is a
+    monotonically increasing tie-breaker so that events scheduled earlier
+    run earlier, giving deterministic replay for a fixed RNG seed.  The
+    Event object itself rides in the entry's payload slot and is never
+    compared.
     """
 
     time: float
     priority: int
     seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Callable[[], None]
+    cancelled: bool = field(default=False)
     #: Owning simulator while the event sits in the heap; cleared when the
     #: event is popped so that late cancels don't corrupt the counters.
-    sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    sim: Optional["Simulator"] = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it.
@@ -78,6 +100,12 @@ class Event:
         self.cancelled = True
         if self.sim is not None:
             self.sim._on_cancel()
+
+
+def _entry_live(entry: tuple) -> bool:
+    """True unless the entry wraps a cancelled :class:`Event`."""
+    item = entry[3]
+    return item.__class__ is not Event or not item.cancelled
 
 
 class Simulator:
@@ -94,7 +122,8 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        #: Heap of ``(time, priority, seq, Event-or-callable, arg)``.
+        self._queue: list[tuple] = []
         self._seq = itertools.count()
         self.now: float = 0.0
         self._running = False
@@ -129,9 +158,55 @@ class Simulator:
         event = Event(
             self.now + delay_us, priority, next(self._seq), callback, False, self
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(
+            self._queue, (event.time, priority, event.seq, event, _NO_ARG)
+        )
         self._pending += 1
         return event
+
+    def schedule_call(
+        self,
+        delay_us: float,
+        callback: Callable[..., None],
+        arg: Any = _NO_ARG,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget fast path: schedule without an :class:`Event`.
+
+        Same ordering semantics as :meth:`schedule` (one seq is consumed
+        from the same tie-break counter), but no Event object is
+        allocated, so the entry cannot be cancelled.  ``arg``, when
+        given, is passed to ``callback`` at fire time — hot paths use it
+        to avoid allocating a closure per scheduled call.
+        """
+        if delay_us < 0:
+            raise SimulationError(f"cannot schedule {delay_us}us in the past")
+        heapq.heappush(
+            self._queue,
+            (self.now + delay_us, priority, next(self._seq), callback, arg),
+        )
+        self._pending += 1
+
+    def schedule_call_at(
+        self,
+        time_us: float,
+        callback: Callable[..., None],
+        arg: Any = _NO_ARG,
+        priority: int = 0,
+    ) -> None:
+        """:meth:`schedule_call` at an absolute timestamp.
+
+        The entry carries ``time_us`` verbatim — no ``now + delay``
+        round-trip — so sources replaying a precomputed timestamp array
+        (:class:`repro.sim.batch.BatchSource`) hit the exact same floats
+        a repeated ``now + interval`` chain would produce.
+        """
+        if time_us < self.now:
+            raise SimulationError(f"cannot schedule t={time_us}us in the past")
+        heapq.heappush(
+            self._queue, (time_us, priority, next(self._seq), callback, arg)
+        )
+        self._pending += 1
 
     def schedule_at(
         self,
@@ -166,7 +241,7 @@ class Simulator:
         :meth:`run` stays valid across a compaction triggered by a callback.
         """
         queue = self._queue
-        queue[:] = [event for event in queue if not event.cancelled]
+        queue[:] = [entry for entry in queue if _entry_live(entry)]
         heapq.heapify(queue)
         self._cancelled = 0
         self.compactions += 1
@@ -197,66 +272,96 @@ class Simulator:
         When ``until_us`` is given, the clock is left exactly at ``until_us``
         even if the queue drained earlier, so measurement windows have a
         well-defined length.
+
+        Cyclic garbage collection is suspended for the duration of the
+        loop (and restored on exit, even on error): the hot path
+        allocates only acyclic objects — heap tuples, packets, deques —
+        that refcounting frees immediately, so gen-0 scans triggered by
+        the allocation rate find nothing and only cost time.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         global _EVENTS_TOTAL
         queue = self._queue
         heappop = heapq.heappop
+        event_cls = Event
+        no_arg = _NO_ARG
+        until = float("inf") if until_us is None else until_us
         executed = 0
         stall_limit = self._stall_limit
         stall_ts = -1.0
         stall_count = 0
+        now = self.now
         try:
             while queue:
-                event = queue[0]
-                if until_us is not None and event.time > until_us:
+                if queue[0][0] > until:
                     break
-                heappop(queue)
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                event.sim = None
+                time, _prio, _seq, item, arg = heappop(queue)
+                if item.__class__ is event_cls:
+                    if item.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    item.sim = None
+                    callback = item.callback
+                else:
+                    callback = item
                 self._pending -= 1
-                if event.time < self.now:  # pragma: no cover - defensive
+                if time < now:  # pragma: no cover - defensive
                     raise SimulationError("event queue went backwards")
-                self.now = event.time
+                self.now = now = time
                 executed += 1
                 if stall_limit is not None:
-                    if event.time == stall_ts:
+                    if time == stall_ts:
                         stall_count += 1
                         if stall_count > stall_limit:
                             raise SimulationError(
                                 f"no-progress stall: {stall_count} events "
-                                f"executed at t={event.time}us without the "
+                                f"executed at t={time}us without the "
                                 "clock advancing"
                             )
                     else:
-                        stall_ts = event.time
+                        stall_ts = time
                         stall_count = 1
-                event.callback()
+                if arg is no_arg:
+                    callback()
+                else:
+                    callback(arg)
             if until_us is not None and self.now < until_us:
                 self.now = until_us
         finally:
             self._running = False
             self.events_processed += executed
             _EVENTS_TOTAL += executed
+            if gc_was_enabled:
+                gc.enable()
 
     def step(self) -> bool:
         """Run a single event.  Returns False if the queue is empty."""
         global _EVENTS_TOTAL
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            event.sim = None
+            entry = heapq.heappop(self._queue)
+            item = entry[3]
+            if item.__class__ is Event:
+                if item.cancelled:
+                    self._cancelled -= 1
+                    continue
+                item.sim = None
+                callback = item.callback
+            else:
+                callback = item
             self._pending -= 1
-            self.now = event.time
+            self.now = entry[0]
             self.events_processed += 1
             _EVENTS_TOTAL += 1
-            event.callback()
+            arg = entry[4]
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             return True
         return False
 

@@ -46,7 +46,13 @@ from repro.telemetry.summarize import (
     summarize_file,
     summarize_records,
 )
-from repro.telemetry.trace import TraceBus, TraceChannel, load_trace
+from repro.telemetry.ring import TraceRing
+from repro.telemetry.trace import (
+    RingTraceChannel,
+    TraceBus,
+    TraceChannel,
+    load_trace,
+)
 
 __all__ = [
     "TRACE_CATEGORIES",
@@ -57,11 +63,13 @@ __all__ = [
     "LedgerAudit",
     "MetricsRegistry",
     "PeriodicSampler",
+    "RingTraceChannel",
     "RunProfiler",
     "Telemetry",
     "TelemetryConfig",
     "TraceBus",
     "TraceChannel",
+    "TraceRing",
     "TraceSummary",
     "configure_logging",
     "format_summary",

@@ -56,7 +56,7 @@ SEGMENTS = ("qdisc", "driver", "mac", "assembly", "hw", "air")
 REQUIRED_CATEGORIES = ("queue", "agg", "hw", "driver")
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """The reconstructed lifecycle of one downlink packet."""
 
@@ -122,19 +122,20 @@ class SpanCollector:
         #: on entry, uplink client drops) — degenerate zero-length spans.
         self.pre_enqueue_drops = 0
         self.window_start_us: Optional[float] = None
+        # Category dispatch (one dict probe per record on the feed path).
+        self._dispatch = {
+            "queue": self._on_queue,
+            "driver": self._on_driver,
+            "agg": self._on_agg,
+            "hw": self._on_hw,
+        }
 
     # ------------------------------------------------------------------
     def feed(self, record: Mapping[str, Any]) -> List[Span]:
-        cat = record["cat"]
-        if cat == "queue":
-            return self._on_queue(record)
-        if cat == "driver":
-            return self._on_driver(record)
-        if cat == "agg":
-            return self._on_agg(record)
-        if cat == "hw":
-            return self._on_hw(record)
-        if cat == "meta" and record["ev"] == "measurement_start":
+        handler = self._dispatch.get(record["cat"])
+        if handler is not None:
+            return handler(record)
+        if record["cat"] == "meta" and record["ev"] == "measurement_start":
             self.window_start_us = record["t"]
         return []
 

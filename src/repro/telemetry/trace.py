@@ -14,6 +14,18 @@ Design goals, in order:
 3. **Greppable JSONL.**  One JSON object per line:
    ``{"t": <µs>, "cat": <category>, "ev": <event>, ...fields}``.
 
+Two storage backends share the bus API (see DESIGN.md §11):
+
+* ``"ring"`` (default) — the binary columnar store of
+  :class:`repro.telemetry.ring.TraceRing`: typed per-shape columns with
+  interned strings, decoded into dicts lazily (and cached) only when a
+  consumer asks.  Hot instrumentation sites can additionally register a
+  prebound positional emitter via :meth:`TraceChannel.emitter`, skipping
+  the per-record kwargs dict entirely.
+* ``"dict"`` — the legacy list-of-dicts backend, kept as the semantic
+  reference; the ring's decoded records must compare equal to it
+  (``tests/test_trace_ring.py`` holds the equivalence suite).
+
 The category vocabulary lives in
 :data:`repro.telemetry.config.TRACE_CATEGORIES`.
 """
@@ -22,9 +34,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-__all__ = ["TraceBus", "TraceChannel", "load_trace"]
+from repro.telemetry.ring import FieldSpec, TraceRing
+
+__all__ = ["TraceBus", "TraceChannel", "RingTraceChannel", "load_trace"]
 
 
 class TraceChannel:
@@ -32,7 +46,9 @@ class TraceChannel:
 
     Channels are cheap cursors over the bus's record list; components
     cache them once (``self._tr_queue = bus.channel("queue")``) so the
-    per-event cost is a single method call.
+    per-event cost is a single method call.  This is the legacy dict
+    backend's channel; the ring backend hands out
+    :class:`RingTraceChannel` with the same API.
     """
 
     __slots__ = ("_records", "category")
@@ -48,6 +64,49 @@ class TraceChannel:
             record.update(fields)
         self._records.append(record)
 
+    def emitter(self, event: str, fields: Sequence[FieldSpec]):
+        """A positional emitter ``fn(t, *values)`` building dict records.
+
+        Mirrors :meth:`RingTraceChannel.emitter` so instrumentation sites
+        are backend-agnostic: ``values`` bind to the non-constant fields
+        in declaration order; ``(name, 'c', value)`` fields are injected
+        without occupying a positional slot.
+        """
+        append = self._records.append
+        category = self.category
+        specs = tuple(fields)
+
+        def emit(t: float, *values: Any) -> None:
+            record: Dict[str, Any] = {"t": t, "cat": category, "ev": event}
+            index = 0
+            for spec in specs:
+                if spec[1] == "c":
+                    record[spec[0]] = spec[2]
+                else:
+                    record[spec[0]] = values[index]
+                    index += 1
+            append(record)
+
+        return emit
+
+
+class RingTraceChannel:
+    """Ring-backed trace channel: same API, columnar storage."""
+
+    __slots__ = ("_ring", "category")
+
+    def __init__(self, ring: TraceRing, category: str) -> None:
+        self._ring = ring
+        self.category = category
+
+    def emit(self, t_us: float, event: str, **fields: Any) -> None:
+        """Append one record at simulated time ``t_us``."""
+        self._ring.append_generic(self.category, event, t_us, fields)
+
+    def emitter(self, event: str, fields: Sequence[FieldSpec]):
+        """A prebound positional emitter for one record shape."""
+        return self._ring.emitter(self.category, event, fields)
+
 
 class TraceBus:
     """Collects trace records from every instrumented layer of one run.
@@ -57,15 +116,35 @@ class TraceBus:
     which is what makes per-category filtering free at the emission site.
     The ``meta`` category (markers such as the measurement-window start)
     is never filtered — summaries need it to window their tables.
+
+    ``backend`` selects the storage: ``"ring"`` (columnar, default) or
+    ``"dict"`` (legacy).  ``capacity`` bounds the ring to the newest N
+    records (evictions are counted in :attr:`dropped`); it requires the
+    ring backend.
     """
 
-    __slots__ = ("_records", "_filter")
+    __slots__ = ("_records", "_ring", "_filter")
 
-    def __init__(self, categories: Sequence[str] = ()) -> None:
-        self._records: List[Dict[str, Any]] = []
+    def __init__(self, categories: Sequence[str] = (),
+                 backend: str = "ring",
+                 capacity: Optional[int] = None) -> None:
+        if backend == "ring":
+            self._ring: Optional[TraceRing] = TraceRing(capacity=capacity)
+            self._records: Optional[List[Dict[str, Any]]] = None
+        elif backend == "dict":
+            if capacity is not None:
+                raise ValueError("capacity requires the ring backend")
+            self._ring = None
+            self._records = []
+        else:
+            raise ValueError(f"unknown trace backend {backend!r}")
         self._filter = frozenset(categories) if categories else None
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "dict" if self._ring is None else "ring"
+
     def wants(self, category: str) -> bool:
         return (
             category == "meta"
@@ -73,32 +152,58 @@ class TraceBus:
             or category in self._filter
         )
 
-    def channel(self, category: str) -> Optional[TraceChannel]:
+    def channel(self, category: str):
         """An emitter for ``category``, or ``None`` when filtered out."""
         if not self.wants(category):
             return None
+        if self._ring is not None:
+            return RingTraceChannel(self._ring, category)
         return TraceChannel(self._records, category)
 
     # ------------------------------------------------------------------
     @property
     def records(self) -> List[Dict[str, Any]]:
+        if self._ring is not None:
+            return self._ring.records()
         return self._records
 
+    @property
+    def dropped(self) -> int:
+        """Records evicted by a bounded ring (0 for unbounded/dict)."""
+        return self._ring.dropped if self._ring is not None else 0
+
     def __len__(self) -> int:
+        if self._ring is not None:
+            return len(self._ring)
         return len(self._records)
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Records in emission order, decoding lazily on the ring."""
+        if self._ring is not None:
+            return self._ring.iter_records()
+        return iter(self._records)
 
     def dumps(self) -> str:
         """The full trace as JSONL text (deterministic key order)."""
+        dumps = json.dumps
         return "".join(
-            json.dumps(record, separators=(",", ":")) + "\n"
-            for record in self._records
+            dumps(record, separators=(",", ":")) + "\n"
+            for record in self.iter_records()
         )
 
     def write_jsonl(self, path: str) -> Path:
-        """Write the trace to ``path``, creating parent directories."""
+        """Stream the trace to ``path``, creating parent directories.
+
+        Writes record by record instead of materialising the whole
+        JSONL text (a saturated multi-second trace is tens of MB).
+        """
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.dumps())
+        dumps = json.dumps
+        with open(target, "w") as handle:
+            for record in self.iter_records():
+                handle.write(dumps(record, separators=(",", ":")))
+                handle.write("\n")
         return target
 
 

@@ -12,7 +12,9 @@ from typing import Optional
 from repro.core.packet import AccessCategory, Packet, flow_id_allocator
 from repro.mac.station import ClientStation
 from repro.net.wire import Server
-from repro.sim.engine import PeriodicTimer, Simulator
+from repro.sim.batch import BatchSource
+from repro.sim.engine import Simulator
+from repro.traffic.arrivals import cbr_chunks
 
 __all__ = ["UdpDownloadFlow", "UdpSink", "DEFAULT_UDP_PACKET"]
 
@@ -72,30 +74,55 @@ class UdpDownloadFlow:
         self.ac = ac
         self.flow_id = flow_id_allocator()
         self.sink = UdpSink(sim)
-        self.tx_packets = 0
         self._seq = 0
 
         station.register_handler(self.flow_id, self.sink.on_packet)
-        interval_us = 8 * packet_size / rate_bps * 1e6
-        self._timer = PeriodicTimer(sim, interval_us, self._emit)
+        self.interval_us = 8 * packet_size / rate_bps * 1e6
+        self._source: Optional[BatchSource] = None
+        self._send = server.send
+        self._dst = station.index
+        # Filled by start() when the server sits behind a WiredNetwork:
+        # the wire hop is then inlined into _emit (one schedule_call with
+        # a prebound delivery target instead of send -> to_ap frames).
+        self._deliver = None
+        self._wire_delay = 0.0
+        self._sched = sim.schedule_call
+
+    @property
+    def tx_packets(self) -> int:
+        """Packets generated so far (every emit also bumps the seq)."""
+        return self._seq
 
     def start(self, delay_us: float = 0.0) -> "UdpDownloadFlow":
-        self._timer.start(first_delay_us=delay_us)
+        # Arrivals replay the exact timestamp chain a PeriodicTimer with
+        # the same first delay and interval would walk (left-fold float
+        # adds), precomputed in chunks instead of one add per packet.
+        network = self.server.network
+        if network is not None:
+            self._deliver = network._deliver_down
+            self._wire_delay = network.delay_us
+        chunks = cbr_chunks(self.sim.now + delay_us, self.interval_us)
+        self._source = BatchSource(self.sim, chunks, self._emit).start()
         return self
 
     def stop(self) -> None:
-        self._timer.stop()
+        if self._source is not None:
+            self._source.stop()
 
     def _emit(self) -> None:
-        self._seq += 1
-        self.tx_packets += 1
+        seq = self._seq + 1
+        self._seq = seq
+        # Positional Packet call (dst_station, src_station, ac, proto,
+        # seq, created_us): one packet per arrival makes the keyword
+        # binding overhead measurable.  The ctor stamps created_us with
+        # the same clock value WiredNetwork.to_ap would, so the wire hop
+        # reduces to scheduling the AP-side delivery directly.
         pkt = Packet(
-            self.flow_id,
-            self.packet_size,
-            dst_station=self.station.index,
-            ac=self.ac,
-            proto="udp",
-            seq=self._seq,
-            created_us=self.sim.now,
+            self.flow_id, self.packet_size,
+            self._dst, None, self.ac, "udp", seq, self.sim.now,
         )
-        self.server.send(pkt)
+        deliver = self._deliver
+        if deliver is None:
+            self._send(pkt)
+        else:
+            self._sched(self._wire_delay, deliver, pkt)

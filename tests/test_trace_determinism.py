@@ -136,6 +136,46 @@ def test_impaired_run_deterministic_serial_parallel_cached(tmp_path):
         assert a == b
 
 
+def test_ring_backend_traces_byte_identical_to_dict_backend(tmp_path,
+                                                            monkeypatch):
+    """The columnar ring backend must not change a single trace byte:
+    the same traced fig05 specs, re-run with the legacy dict backend
+    forced, produce identical ``*.trace.jsonl`` files and telemetry
+    summaries (spans + ledger included)."""
+    import functools
+
+    import repro.telemetry as telemetry_pkg
+    from repro.telemetry.trace import TraceBus
+
+    ring_dir = tmp_path / "ring"
+    dict_dir = tmp_path / "dict"
+
+    def _spans_specs(out_dir: Path):
+        telemetry = TelemetryConfig(trace_path=str(out_dir), spans=True,
+                                    ledger=True)
+        return airtime_udp.specs(SCHEMES, duration_s=0.6, warmup_s=0.3,
+                                 telemetry=telemetry)
+
+    ring_results = Runner(jobs=1, cache=None).run_values(_spans_specs(ring_dir))
+    assert telemetry_pkg.TraceBus().backend == "ring"  # the default
+
+    monkeypatch.setattr(telemetry_pkg, "TraceBus",
+                        functools.partial(TraceBus, backend="dict"))
+    dict_results = Runner(jobs=1, cache=None).run_values(_spans_specs(dict_dir))
+
+    ring_traces = _trace_texts(ring_dir)
+    dict_traces = _trace_texts(dict_dir)
+    assert ring_traces and set(ring_traces) == set(dict_traces)
+    for name in ring_traces:
+        assert ring_traces[name] == dict_traces[name], name
+
+    for a, b in zip(ring_results, dict_results):
+        sa = {k: v for k, v in a.telemetry.items() if not k.endswith("_path")}
+        sb = {k: v for k, v in b.telemetry.items() if not k.endswith("_path")}
+        assert sa == sb
+        assert "spans" in sa  # the attribution actually ran
+
+
 def test_traced_and_untraced_runs_use_distinct_cache_entries(tmp_path):
     cache = ResultCache(root=str(tmp_path / "cache"))
     untraced = airtime_udp.specs(SCHEMES, duration_s=0.6, warmup_s=0.3)
