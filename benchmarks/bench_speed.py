@@ -228,6 +228,68 @@ def bench_telemetry_overhead(duration_s: float = 2.0) -> dict:
     }
 
 
+def bench_streaming_stats(duration_s: float = 2.0) -> dict:
+    """Streaming observability cost: the same run untraced vs with online
+    statistics (bounded ring + sketches, no post-run decode), plus memory
+    flatness as sim duration scales 10x, and raw sketch ingest speed."""
+    from repro.telemetry import QuantileSketch, TelemetryConfig
+
+    streaming = TelemetryConfig(streaming=True)
+
+    def one(label: str, duration: float, telemetry,
+            profile: bool = False) -> "RunMetrics":
+        spec = RunSpec.make(
+            "repro.experiments.airtime_udp:run_scheme",
+            label=label,
+            scheme=Scheme.FIFO,
+            duration_s=duration,
+            warmup_s=0.5,
+            seed=1,
+            telemetry=telemetry,
+        )
+        runner = Runner(jobs=1, cache=None, profile=profile)
+        return runner.map([spec])[0].metrics
+
+    # Best-of-2 alternating measurements: single-shot rates on a shared
+    # box swing far more than the overhead being measured, and taking
+    # each config's best run rejects the slow-outlier noise.
+    base_rate = 0.0
+    online_rate = 0.0
+    for rep in range(2):
+        base_rate = max(base_rate, one(
+            f"speed/stream-untraced{rep}", duration_s, None).events_per_sec)
+        online_rate = max(online_rate, one(
+            f"speed/streaming{rep}", duration_s, streaming).events_per_sec)
+    overhead = base_rate / online_rate - 1.0 if online_rate else 0.0
+
+    # Memory flatness: with the ring bounded and the stats online, peak
+    # heap must stay ~flat as sim duration scales 10x.
+    heap_short = one("speed/stream-1s", 1.0, streaming,
+                     profile=True).peak_heap_bytes
+    heap_long = one("speed/stream-10s", 10.0, streaming,
+                    profile=True).peak_heap_bytes
+
+    sketch = QuantileSketch()
+    n_samples = 200_000
+    start = time.perf_counter()
+    for i in range(n_samples):
+        sketch.observe(float(i & 1023))
+    sketch_rate = n_samples / (time.perf_counter() - start)
+
+    return {
+        "scenario": "airtime_udp/FIFO",
+        "sim_duration_s": duration_s,
+        "untraced_events_per_sec": round(base_rate),
+        "streaming_events_per_sec": round(online_rate),
+        "overhead_pct": round(overhead * 100.0, 1),
+        "sketch_observe_per_sec": round(sketch_rate),
+        "peak_heap_1s_bytes": heap_short,
+        "peak_heap_10s_bytes": heap_long,
+        "heap_growth_10x": (round(heap_long / heap_short, 2)
+                            if heap_short else None),
+    }
+
+
 def bench_report(scale: float, jobs: int) -> dict:
     """Scaled-down report wall time, serial vs parallel (no cache)."""
     start = time.perf_counter()
@@ -293,6 +355,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  {overhead['untraced_events_per_sec']:,} -> "
           f"{overhead['traced_spans_ledger_events_per_sec']:,} events/sec "
           f"({overhead['overhead_pct']}% overhead)")
+    print("workload: streaming-stats overhead + memory flatness ...",
+          flush=True)
+    streaming = bench_streaming_stats()
+    print(f"  {streaming['untraced_events_per_sec']:,} -> "
+          f"{streaming['streaming_events_per_sec']:,} events/sec "
+          f"({streaming['overhead_pct']}% overhead); peak heap x"
+          f"{streaming['heap_growth_10x']} over a 10x longer run; "
+          f"sketch {streaming['sketch_observe_per_sec']:,} samples/sec")
 
     report: dict | None = None
     if not args.skip_report:
@@ -318,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch_arrivals": batch,
         "single_run": single,
         "telemetry_overhead": overhead,
+        "streaming_stats": streaming,
         "report": report,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

@@ -58,6 +58,7 @@ PERF_METRICS: Tuple[Tuple[str, str], ...] = (
     ("batch_arrivals", "batch_arrivals_per_sec"),
     ("single_run", "events_per_sec"),
     ("telemetry_overhead", "traced_spans_ledger_events_per_sec"),
+    ("streaming_stats", "streaming_events_per_sec"),
 )
 
 

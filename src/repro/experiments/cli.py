@@ -20,6 +20,7 @@ nothing else.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Optional
@@ -179,6 +180,10 @@ def _trace_main(argv: list[str]) -> int:
     )
     summarize.add_argument("files", nargs="+", metavar="FILE",
                            help="JSONL trace file(s) written by --trace")
+    summarize.add_argument("--strict", action="store_true",
+                           help="exit 4 if a bounded trace ring dropped "
+                                "records (tables would cover only the "
+                                "retained tail)")
     spans_p = sub.add_parser(
         "spans",
         help="reconstruct per-packet lifecycle spans and report join health",
@@ -213,7 +218,7 @@ def _trace_main(argv: list[str]) -> int:
 
     configure_logging()
     if args.command == "summarize":
-        return _trace_summarize(args.files)
+        return _trace_summarize(args.files, strict=args.strict)
     if args.command == "spans":
         return _trace_spans(args.files, check=args.check)
     if args.command == "waterfall":
@@ -224,8 +229,9 @@ def _trace_main(argv: list[str]) -> int:
                        share_threshold=args.share_threshold)
 
 
-def _trace_summarize(files: list[str]) -> int:
+def _trace_summarize(files: list[str], strict: bool = False) -> int:
     status = 0
+    overflowed = False
     for path in files:
         try:
             summary = summarize_file(path)
@@ -233,7 +239,14 @@ def _trace_summarize(files: list[str]) -> int:
             log.error("cannot summarize %s: %s", path, exc)
             status = 1
             continue
+        if summary.ring_dropped:
+            overflowed = True
+            log.warning("%s: bounded ring dropped %d records",
+                        path, summary.ring_dropped)
         print(format_summary(summary, title=path))
+    if strict and overflowed and status == 0:
+        # Same exit-code contract as `trace diff`: 4 = gate breach.
+        return 4
     return status
 
 
@@ -476,7 +489,7 @@ def _validate_main(argv: list[str]) -> int:
 # ----------------------------------------------------------------------
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
     if (args.trace is None and args.metrics_out is None
-            and not args.spans and not args.ledger):
+            and not args.spans and not args.ledger and not args.streaming):
         return None
     if args.spans and args.trace is None:
         raise ValueError("--spans needs a trace to stitch; add --trace DIR")
@@ -491,6 +504,7 @@ def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
         metrics_path=args.metrics_out,
         spans=args.spans,
         ledger=args.ledger,
+        streaming=args.streaming,
     )
 
 
@@ -507,17 +521,24 @@ def _failure_table(failures: list[FailedResult]) -> str:
 
 
 def _run_cost_table(history: list[RunResult], mode: str = "") -> str:
-    """Per-run cost table (wall time, events/sec, peak heap) for --profile."""
+    """Per-run cost table (wall time, events/sec, peak heap) for --profile.
+
+    Wall time is split into simulation proper (``sim s``) and post-run
+    finalisation (``post s``: trace decode, summarise, metrics flush) so
+    a run dominated by decode cost is visible at a glance.
+    """
     lines = ["Run cost (per spec)"]
     if mode:
         lines.append(f"execution mode: {mode}")
-    lines.append(f"{'label':<28} {'wall s':>8} {'events':>12} "
-                 f"{'ev/s':>10} {'peak heap':>10} {'cached':>6}")
+    lines.append(f"{'label':<28} {'wall s':>8} {'sim s':>7} {'post s':>7} "
+                 f"{'events':>12} {'ev/s':>10} {'peak heap':>10} "
+                 f"{'cached':>6}")
     for result in history:
         m = result.metrics
         heap = f"{m.peak_heap_bytes / 1e6:.1f} MB" if m.peak_heap_bytes else "-"
         lines.append(
-            f"{result.spec.label:<28} {m.wall_s:8.2f} {m.events:12d} "
+            f"{result.spec.label:<28} {m.wall_s:8.2f} {m.sim_wall_s:7.2f} "
+            f"{m.finalize_s:7.2f} {m.events:12d} "
             f"{m.events_per_sec:10.0f} {heap:>10} "
             f"{'yes' if m.cached else 'no':>6}"
         )
@@ -570,9 +591,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="keep the per-station airtime ledger and audit "
                              "it against the analytical model at teardown "
                              "(with --strict, divergence aborts the run)")
+    parser.add_argument("--streaming", action="store_true",
+                        help="compute run statistics online (quantile "
+                             "sketches, windowed Jain, drop funnel) with "
+                             "flat memory: the trace ring stays bounded "
+                             "and the post-run decode pass is skipped")
     parser.add_argument("--profile", action="store_true",
                         help="record per-run peak heap and print a "
-                             "run-cost table")
+                             "run-cost table (wall time split into sim "
+                             "and post-run finalize)")
     parser.add_argument("--faults", default=None, metavar="FILE",
                         help="JSON fault schedule (burst loss, interference, "
                              "rate crashes, station churn) applied to "
@@ -585,6 +612,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="kill any single run exceeding this wall time "
                              "(parallel runs only); it is retried once, "
                              "then reported as failed")
+    parser.add_argument("--progress", action="store_true",
+                        help="live status line on stderr while runs execute "
+                             "(sim-time, events/sec, ETA, RSS from worker "
+                             "heartbeats)")
+    parser.add_argument("--manifest-out", default=None, metavar="FILE",
+                        help="append a machine-readable JSONL run manifest "
+                             "(one record per run: outcome + cost "
+                             "accounting) to FILE")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="write failure flight-recorder bundles (trace "
+                             "ring tail, watchdog state, streaming-stat "
+                             "snapshot) under DIR when a run dies")
     args = parser.parse_args(argv)
 
     configure_logging(args.verbose - args.quiet)
@@ -617,12 +656,19 @@ def main(argv: list[str] | None = None) -> int:
             log.error("cannot load fault schedule %s: %s", args.faults, exc)
             return 2
 
+    if args.flight_dir is not None:
+        # Env-var transport (not TelemetryConfig): the flight directory
+        # is pure observability output and must not perturb cache keys.
+        os.environ["REPRO_FLIGHT_DIR"] = args.flight_dir
+
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = Runner(jobs=jobs,
                     cache=None if args.no_cache else ResultCache(),
                     profile=args.profile,
                     timeout_s=args.run_timeout,
-                    auto_serial=True)
+                    auto_serial=True,
+                    progress=args.progress,
+                    manifest_path=args.manifest_out)
 
     broken_tables = 0
     for name in names:

@@ -545,14 +545,16 @@ def _run_cost_section(runner: Runner) -> str:
         "## Run cost (profiled)", "",
         f"Execution mode: {runner.execution_mode} "
         f"(requested jobs: {runner.requested_jobs}).", "",
-        "| spec | wall s | events | ev/s | peak heap | cached |",
-        "|---|---:|---:|---:|---:|---|",
+        "| spec | wall s | sim s | post s | events | ev/s "
+        "| peak heap | cached |",
+        "|---|---:|---:|---:|---:|---:|---:|---|",
     ]
     for result in runner.history:
         m = result.metrics
         heap = f"{m.peak_heap_bytes / 1e6:.1f} MB" if m.peak_heap_bytes else "—"
         lines.append(
-            f"| {result.spec.label} | {m.wall_s:.2f} | {m.events} "
+            f"| {result.spec.label} | {m.wall_s:.2f} | {m.sim_wall_s:.2f} "
+            f"| {m.finalize_s:.2f} | {m.events} "
             f"| {m.events_per_sec:.0f} | {heap} "
             f"| {'yes' if m.cached else 'no'} |"
         )

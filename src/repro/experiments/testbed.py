@@ -29,6 +29,7 @@ from repro.phy.rates import PhyRate
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 from repro.telemetry import PeriodicSampler, Telemetry, TelemetryConfig
+from repro.telemetry import flightrec
 
 __all__ = ["Testbed", "TestbedOptions"]
 
@@ -168,6 +169,11 @@ class Testbed:
             # Same-timestamp livelock guard on the event engine; one µs of
             # simulated time never legitimately needs this many events.
             self.sim.set_stall_guard(1_000_000)
+
+        # Flight recorder: whoever dies while this testbed is the active
+        # simulation can dump its ring tail / watchdog / streaming state.
+        # Weak registration; a no-op unless REPRO_FLIGHT_DIR is set.
+        flightrec.register(self)
 
     # ------------------------------------------------------------------
     def _sample_queues(self) -> Dict[str, float]:

@@ -100,11 +100,17 @@ def add_pings(
 ) -> Dict[int, PingFlow]:
     """A ping flow per station, staggered to avoid probe synchronisation."""
     targets = stations if stations is not None else sorted(testbed.stations)
+    telemetry = testbed.telemetry
+    observer = (
+        telemetry.streaming.observe_rtt
+        if telemetry is not None and telemetry.streaming is not None
+        else None
+    )
     flows: Dict[int, PingFlow] = {}
     for i, idx in enumerate(targets):
         flow = PingFlow(
             testbed.sim, testbed.server, testbed.stations[idx],
-            interval_us=interval_us,
+            interval_us=interval_us, observer=observer,
         ).start(delay_us=1_000.0 * (i + 1))
         testbed.add_warmup_reset(flow.reset_window)
         flows[idx] = flow

@@ -25,10 +25,21 @@ from repro.runner.executor import (
     default_jobs,
     execute,
 )
+from repro.runner.progress import (
+    Heartbeat,
+    HeartbeatWriter,
+    ManifestWriter,
+    ProgressAggregator,
+    read_heartbeats,
+)
 from repro.runner.spec import RunSpec, canonical, derive_seed, spec_digest
 
 __all__ = [
     "FailedResult",
+    "Heartbeat",
+    "HeartbeatWriter",
+    "ManifestWriter",
+    "ProgressAggregator",
     "ResultCache",
     "RunMetrics",
     "RunResult",
@@ -39,5 +50,6 @@ __all__ = [
     "default_jobs",
     "derive_seed",
     "execute",
+    "read_heartbeats",
     "spec_digest",
 ]

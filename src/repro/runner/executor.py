@@ -74,10 +74,19 @@ class RunMetrics:
     #: Peak heap during the run (bytes, via tracemalloc); 0 when the
     #: runner was not profiling.
     peak_heap_bytes: int = 0
+    #: Wall seconds of post-run finalize work (trace decode, summaries,
+    #: file writes) included in ``wall_s`` — the split the ``--profile``
+    #: run-cost table reports as ``sim s`` vs ``post s``.
+    finalize_s: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def sim_wall_s(self) -> float:
+        """Wall time net of finalize work (the simulation itself)."""
+        return max(0.0, self.wall_s - self.finalize_s)
 
 
 @dataclass(frozen=True)
@@ -133,15 +142,44 @@ def _execute_spec(
     With ``profile=True`` the run also records its peak heap (via
     :class:`repro.telemetry.profiling.RunProfiler` / tracemalloc), at the
     cost of slower allocation — so profiling is opt-in per runner.
+
+    When the parent exported a heartbeat spool (``REPRO_PROGRESS_DIR``),
+    the run arms a :class:`~repro.runner.progress.HeartbeatWriter` so
+    its live progress is visible from outside the process — identically
+    on the pool path (the env travels to workers) and the in-process
+    fallback.
     """
     from repro.telemetry.profiling import RunProfiler
 
-    with RunProfiler(track_heap=profile) as profiler:
-        value = spec.call()
+    writer = None
+    spool = os.environ.get("REPRO_PROGRESS_DIR")
+    if spool:
+        from repro.runner.progress import HeartbeatWriter
+
+        writer = HeartbeatWriter(spool, spec.label).arm()
+    failed = True
+    try:
+        with RunProfiler(track_heap=profile) as profiler:
+            value = spec.call()
+        failed = False
+    except BaseException as exc:
+        # Flight recorder: capture the dying run's evidence (ring tail,
+        # watchdog state, streaming snapshot) before the exception
+        # propagates.  No-op unless REPRO_FLIGHT_DIR is configured.
+        from repro.telemetry import flightrec
+
+        flightrec.dump_active(
+            reason=type(exc).__name__, exc=exc, label=spec.label
+        )
+        raise
+    finally:
+        if writer is not None:
+            writer.finish(failed=failed)
     return value, RunMetrics(
         wall_s=profiler.wall_s,
         events=profiler.events,
         peak_heap_bytes=profiler.peak_heap_bytes or 0,
+        finalize_s=profiler.finalize_s,
     )
 
 
@@ -187,6 +225,12 @@ class Runner:
     timeout_s: Optional[float] = None
     retries: int = 1
     auto_serial: bool = False
+    #: Live status line on stderr while specs execute (``--progress``):
+    #: workers heartbeat into a spool directory; a parent-side thread
+    #: aggregates them.  See :mod:`repro.runner.progress`.
+    progress: bool = False
+    #: JSONL run manifest written per map() call (``--manifest-out``).
+    manifest_path: Optional[str] = None
     #: The job count asked for, before any auto-serial fallback.
     requested_jobs: int = field(default=0, init=False)
     #: Set after each map(): True when the last batch used the pool.
@@ -196,6 +240,13 @@ class Runner:
     history: List[RunResult] = field(default_factory=list, init=False)
     #: Cached canary-probe verdict (None until first needed).
     _pools_usable: Optional[bool] = field(default=None, init=False)
+    #: Heartbeat spool of the most recent progress-enabled map() — where
+    #: the flight recorder finds the last known state of a run that
+    #: timed out or crashed its worker.
+    last_spool: Optional[str] = field(default=None, init=False)
+    _spool_tmp: Any = field(default=None, init=False, repr=False)
+    _prev_progress_env: Optional[str] = field(default=None, init=False,
+                                              repr=False)
 
     def __post_init__(self) -> None:
         if self.jobs is None:
@@ -253,16 +304,22 @@ class Runner:
                         events=getattr(stored, "events", 0),
                         cached=True,
                         peak_heap_bytes=getattr(stored, "peak_heap_bytes", 0),
+                        finalize_s=getattr(stored, "finalize_s", 0.0),
                     )
                     results[index] = RunResult(spec, payload["value"], metrics)
                     continue
             pending.append((index, spec))
 
-        for (index, spec), outcome in zip(
-            pending, self._execute_batch([spec for _, spec in pending])
-        ):
+        session = self._progress_start(len(specs), len(specs) - len(pending))
+        try:
+            outcomes = self._execute_batch([spec for _, spec in pending])
+        finally:
+            self._progress_stop(session)
+        for (index, spec), outcome in zip(pending, outcomes):
             if isinstance(outcome, FailedResult):
                 log.warning("run failed %s", outcome.describe())
+                if outcome.phase in ("timeout", "crash"):
+                    self._dump_flight_bundle(outcome)
                 results[index] = RunResult(
                     spec, None, RunMetrics(wall_s=0.0, events=0),
                     error=outcome,
@@ -273,6 +330,7 @@ class Runner:
                 self.cache.put(spec, value, metrics)
             results[index] = RunResult(spec, value, metrics)
         self.history.extend(results)  # type: ignore[arg-type]
+        self._write_manifest(results)  # type: ignore[arg-type]
         return results  # type: ignore[return-value]
 
     def run_values(self, specs: Iterable[RunSpec]) -> List[Any]:
@@ -282,6 +340,91 @@ class Runner:
         holes should use :meth:`map` and check :attr:`RunResult.ok`.
         """
         return [result.value for result in self.map(specs)]
+
+    # ------------------------------------------------------------------
+    # Progress session (spool + aggregator) around one batch
+    # ------------------------------------------------------------------
+    def _progress_start(self, total: int, cached: int):
+        """Open the heartbeat spool and start the status-line thread.
+
+        A pre-existing ``REPRO_PROGRESS_DIR`` is honoured (and kept
+        afterwards) so CI jobs can point workers at a directory they
+        inspect after the run; otherwise a temp spool is created and
+        exported for the duration of the batch.
+        """
+        if not self.progress:
+            return None
+        import tempfile
+
+        from repro.runner.progress import PROGRESS_ENV, ProgressAggregator
+
+        self._prev_progress_env = os.environ.get(PROGRESS_ENV)
+        if self._prev_progress_env:
+            self.last_spool = self._prev_progress_env
+        else:
+            self._spool_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-progress-"
+            )
+            self.last_spool = self._spool_tmp.name
+            os.environ[PROGRESS_ENV] = self.last_spool
+        aggregator = ProgressAggregator(self.last_spool, total)
+        aggregator.note_finished(cached)
+        return aggregator.start()
+
+    def _progress_stop(self, aggregator) -> None:
+        if aggregator is None:
+            return
+        from repro.runner.progress import PROGRESS_ENV
+
+        aggregator.stop()
+        if not self._prev_progress_env:
+            os.environ.pop(PROGRESS_ENV, None)
+        # The spool itself stays on disk (self.last_spool) until the
+        # next progress batch or interpreter exit: the flight recorder
+        # reads final heartbeats from it after failures are processed.
+
+    def _dump_flight_bundle(self, failure: FailedResult) -> None:
+        """Parent-side flight bundle for a run that died without one.
+
+        A timed-out or crashed worker never reaches its own dump hook;
+        reconstruct what we know from the run's last heartbeat (when a
+        progress spool was active).  No-op unless REPRO_FLIGHT_DIR is
+        configured.
+        """
+        from repro.telemetry import flightrec
+
+        if flightrec.flight_dir() is None:
+            return
+        heartbeat = None
+        if self.last_spool is not None:
+            from dataclasses import asdict
+
+            from repro.runner.progress import read_heartbeats
+
+            for beat in read_heartbeats(self.last_spool):
+                if beat.label == failure.spec.label:
+                    heartbeat = asdict(beat)
+                    break
+        flightrec.dump_parent_bundle(
+            label=failure.spec.label,
+            phase=failure.phase,
+            error=failure.error,
+            heartbeat=heartbeat,
+        )
+
+    def _write_manifest(self, results: List[RunResult]) -> None:
+        if self.manifest_path is None or not results:
+            return
+        from repro.runner.progress import ManifestWriter
+
+        writer = ManifestWriter(self.manifest_path).open(
+            specs=len(results), mode=self.execution_mode, jobs=self.jobs
+        )
+        try:
+            for result in results:
+                writer.record_result(result)
+        finally:
+            writer.close()
 
     # ------------------------------------------------------------------
     def _execute_batch(self, specs: Sequence[RunSpec]) -> List[_Outcome]:

@@ -26,10 +26,15 @@ digest, so traced and untraced runs never share cache entries.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.telemetry.config import TRACE_CATEGORIES, TelemetryConfig
+from repro.telemetry.config import (
+    DEFAULT_STREAM_CAPACITY,
+    TRACE_CATEGORIES,
+    TelemetryConfig,
+)
 from repro.telemetry.ledger import AirtimeLedger, LedgerAudit
 from repro.telemetry.logutil import configure_logging, get_logger
 from repro.telemetry.metrics import (
@@ -39,7 +44,18 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     PeriodicSampler,
 )
-from repro.telemetry.profiling import RunProfiler
+from repro.telemetry.profiling import (
+    RunProfiler,
+    add_finalize_wall,
+    finalize_wall_total,
+)
+from repro.telemetry.streaming import (
+    QuantileSketch,
+    StreamingStats,
+    WindowedJain,
+    format_streaming,
+    jain_index,
+)
 from repro.telemetry.summarize import (
     TraceSummary,
     format_summary,
@@ -55,6 +71,7 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "DEFAULT_STREAM_CAPACITY",
     "TRACE_CATEGORIES",
     "AirtimeLedger",
     "Counter",
@@ -63,17 +80,24 @@ __all__ = [
     "LedgerAudit",
     "MetricsRegistry",
     "PeriodicSampler",
+    "QuantileSketch",
     "RingTraceChannel",
     "RunProfiler",
+    "StreamingStats",
     "Telemetry",
     "TelemetryConfig",
     "TraceBus",
     "TraceChannel",
     "TraceRing",
     "TraceSummary",
+    "WindowedJain",
+    "add_finalize_wall",
     "configure_logging",
+    "finalize_wall_total",
+    "format_streaming",
     "format_summary",
     "get_logger",
+    "jain_index",
     "load_trace",
     "summarize_file",
     "summarize_records",
@@ -92,9 +116,19 @@ class Telemetry:
 
     def __init__(self, config: TelemetryConfig) -> None:
         self.config = config
-        self.trace: Optional[TraceBus] = (
-            TraceBus(config.categories) if config.trace_enabled else None
+        #: Online accumulators (sketches, windowed Jain, drop counters);
+        #: registered on the bus *before* any channel binds so every
+        #: prebound emitter tees into them.
+        self.streaming: Optional[StreamingStats] = (
+            StreamingStats() if config.streaming else None
         )
+        self.trace: Optional[TraceBus] = (
+            TraceBus(config.effective_categories,
+                     capacity=config.effective_capacity)
+            if config.trace_enabled else None
+        )
+        if self.streaming is not None and self.trace is not None:
+            self.streaming.register(self.trace)
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if config.metrics_enabled else None
         )
@@ -124,19 +158,52 @@ class Telemetry:
         The summary is deterministic for a fixed seed and config — it is
         stored inside the run result, so a cache hit reproduces it
         bit-for-bit without re-simulating.
+
+        With streaming stats on, the airtime/drop tables come from the
+        online accumulators and **no trace decode happens** unless a
+        trace file or span reconstruction was explicitly requested —
+        that skipped decode is the wall-time the ``--profile`` run-cost
+        table reports under ``post s``.
+
+        The whole flush is charged to the profiler's *finalize* phase so
+        run-cost accounting can split simulation time from post-run
+        decode/summarize time.
         """
+        start = time.perf_counter()
+        try:
+            return self._finish()
+        finally:
+            add_finalize_wall(time.perf_counter() - start)
+
+    def _finish(self) -> Dict[str, Any]:
         summary: Dict[str, Any] = {}
         if self.trace is not None:
             summary["trace_records"] = len(self.trace)
-            trace_summary = summarize_records(self.trace.records)
-            summary["airtime_us"] = {
-                station: tx.airtime_us
-                for station, tx in sorted(trace_summary.stations.items())
-            }
-            summary["drops"] = {
-                f"{layer}:{reason}": count
-                for (layer, reason), count in sorted(trace_summary.drops.items())
-            }
+            if self.trace.dropped:
+                summary["trace_dropped"] = self.trace.dropped
+            if self.streaming is not None:
+                summary["streaming"] = self.streaming.snapshot()
+                summary["airtime_us"] = {
+                    station: account.airtime_us
+                    for station, account in sorted(
+                        self.streaming.stations.items())
+                }
+                summary["drops"] = {
+                    f"{layer}:{reason}": count
+                    for (layer, reason), count in sorted(
+                        self.streaming.drops.items())
+                }
+            else:
+                trace_summary = summarize_records(self.trace.records)
+                summary["airtime_us"] = {
+                    station: tx.airtime_us
+                    for station, tx in sorted(trace_summary.stations.items())
+                }
+                summary["drops"] = {
+                    f"{layer}:{reason}": count
+                    for (layer, reason), count in sorted(
+                        trace_summary.drops.items())
+                }
             if self.config.trace_path is not None:
                 summary["trace_path"] = str(
                     self.trace.write_jsonl(self.config.trace_path)

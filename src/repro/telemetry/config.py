@@ -19,7 +19,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple
 
-__all__ = ["TelemetryConfig", "TRACE_CATEGORIES"]
+__all__ = ["TelemetryConfig", "TRACE_CATEGORIES", "STREAMING_CATEGORIES",
+           "DEFAULT_STREAM_CAPACITY"]
+
+#: Bounded-ring tail kept by streaming-only configs: enough context for
+#: a flight-recorder dump, small enough that memory stays flat.
+DEFAULT_STREAM_CAPACITY = 8192
+
+#: Categories emitted by streaming-only configs: what the online
+#: accumulators consume (queue, tx) plus markers the flight recorder
+#: and windowing need (meta, fault).
+STREAMING_CATEGORIES = ("queue", "tx", "fault", "meta")
 
 #: Every trace category the instrumentation emits.
 #:
@@ -75,6 +85,21 @@ class TelemetryConfig:
     ledger_tolerance:
         Maximum absolute airtime-share divergence between the measured
         ledger and the analytical model before the audit fails.
+    streaming:
+        Compute per-run statistics *online* (quantile sketches, windowed
+        Jain, drop counters, airtime shares — see
+        :mod:`repro.telemetry.streaming`) by teeing the trace hooks into
+        O(1)-memory accumulators.  Implies tracing hooks are live; when
+        no full trace retention is otherwise requested (no
+        ``trace_path``, no ``spans``, ``trace`` False) the trace ring is
+        bounded to :data:`DEFAULT_STREAM_CAPACITY` records so memory
+        stays flat no matter how long the run — the retained tail feeds
+        the flight recorder.
+    trace_capacity:
+        Explicitly bound the trace ring to the newest N records
+        (evictions are counted and surfaced by ``trace summarize``).
+        Incompatible with ``spans``, which needs the whole trace to
+        stitch packet lifecycles.
     """
 
     trace: bool = False
@@ -86,6 +111,8 @@ class TelemetryConfig:
     spans: bool = False
     ledger: bool = False
     ledger_tolerance: float = 0.05
+    streaming: bool = False
+    trace_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         unknown = [c for c in self.categories if c not in TRACE_CATEGORIES]
@@ -100,11 +127,20 @@ class TelemetryConfig:
             raise ValueError("spans requires tracing (set trace/trace_path)")
         if self.ledger_tolerance < 0:
             raise ValueError("ledger_tolerance must be non-negative")
+        if self.trace_capacity is not None:
+            if self.trace_capacity <= 0:
+                raise ValueError("trace_capacity must be positive")
+            if self.spans:
+                raise ValueError(
+                    "spans needs the full trace; do not bound it with "
+                    "trace_capacity"
+                )
 
     # ------------------------------------------------------------------
     @property
     def trace_enabled(self) -> bool:
-        return self.trace or self.trace_path is not None
+        return (self.trace or self.trace_path is not None
+                or self.streaming)
 
     @property
     def metrics_enabled(self) -> bool:
@@ -113,6 +149,38 @@ class TelemetryConfig:
     @property
     def active(self) -> bool:
         return self.trace_enabled or self.metrics_enabled or self.ledger
+
+    @property
+    def effective_categories(self) -> Tuple[str, ...]:
+        """Trace categories actually emitted.
+
+        Streaming-only configs (no file output, no spans, no in-memory
+        retention request, no explicit category list) restrict emission
+        to :data:`STREAMING_CATEGORIES` — the shapes the online
+        accumulators consume plus the meta/fault markers — so the hot
+        per-packet sites in the other categories (hw, driver, agg,
+        sched, codel) stay on their zero-cost path.
+        """
+        if (self.streaming and not self.categories and not self.trace
+                and self.trace_path is None and not self.spans):
+            return STREAMING_CATEGORIES
+        return self.categories
+
+    @property
+    def effective_capacity(self) -> Optional[int]:
+        """Ring bound actually applied by :class:`repro.telemetry.Telemetry`.
+
+        An explicit ``trace_capacity`` wins.  Otherwise streaming-only
+        configs (no file output, no spans, no in-memory retention
+        request) default to a bounded tail — the whole point of the
+        streaming path is that memory stays flat.
+        """
+        if self.trace_capacity is not None:
+            return self.trace_capacity
+        if (self.streaming and not self.trace
+                and self.trace_path is None and not self.spans):
+            return DEFAULT_STREAM_CAPACITY
+        return None
 
     # ------------------------------------------------------------------
     def for_run(self, label: str) -> "TelemetryConfig":

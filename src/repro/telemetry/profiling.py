@@ -16,22 +16,45 @@ from typing import Optional
 
 from repro.sim.engine import events_processed_total
 
-__all__ = ["RunProfiler"]
+__all__ = ["RunProfiler", "add_finalize_wall", "finalize_wall_total"]
+
+# Process-global accumulator of post-run *finalize* wall time (trace
+# decode, summaries, file writes — everything Telemetry.finish charges
+# here).  Like the engine's event counter it is monotonic per process;
+# RunProfiler snapshots it around a run to attribute the delta, which
+# lets the ``--profile`` run-cost table split simulation wall time from
+# post-run decode/summarize time.
+_FINALIZE_WALL_TOTAL = 0.0
+
+
+def add_finalize_wall(seconds: float) -> None:
+    """Charge ``seconds`` of post-run finalize work to this process."""
+    global _FINALIZE_WALL_TOTAL
+    _FINALIZE_WALL_TOTAL += seconds
+
+
+def finalize_wall_total() -> float:
+    """Total finalize wall time charged in this process so far."""
+    return _FINALIZE_WALL_TOTAL
 
 
 class RunProfiler:
     """Context manager measuring one run's cost.
 
-    After the ``with`` block: ``wall_s``, ``events``, ``events_per_sec``
-    and (when ``track_heap``) ``peak_heap_bytes`` are populated.
+    After the ``with`` block: ``wall_s``, ``events``, ``events_per_sec``,
+    ``finalize_s`` (post-run decode/summarize time charged via
+    :func:`add_finalize_wall` inside the block) and (when ``track_heap``)
+    ``peak_heap_bytes`` are populated.
     """
 
     def __init__(self, track_heap: bool = False) -> None:
         self.track_heap = track_heap
         self.wall_s = 0.0
         self.events = 0
+        self.finalize_s = 0.0
         self.peak_heap_bytes: Optional[int] = None
         self._events_before = 0
+        self._finalize_before = 0.0
         self._start = 0.0
         self._started_tracing = False
 
@@ -50,12 +73,14 @@ class RunProfiler:
                 tracemalloc.start()
                 self._started_tracing = True
         self._events_before = events_processed_total()
+        self._finalize_before = finalize_wall_total()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.wall_s = time.perf_counter() - self._start
         self.events = events_processed_total() - self._events_before
+        self.finalize_s = finalize_wall_total() - self._finalize_before
         if self.track_heap:
             self.peak_heap_bytes = tracemalloc.get_traced_memory()[1]
             if self._started_tracing:

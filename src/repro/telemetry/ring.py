@@ -183,14 +183,91 @@ class TraceRing:
         appends = shape.appends
         sid = shape.sid
         if self.capacity is not None:
+            # Bounded mode: same arity specialisation as the unbounded
+            # emitters below, plus one len/compare against the eviction
+            # threshold — the eviction itself stays amortised in
+            # _maybe_evict, which only runs when the threshold trips.
             maybe_evict = self._maybe_evict
+            threshold = 2 * self.capacity
+            order = self._order
+            n = len(appends)
+            if n == 3:
+                a0, a1, a2 = appends
+
+                def emit_b3(t: float, v0: Any, v1: Any, v2: Any) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    a0(v0)
+                    a1(v1)
+                    a2(v2)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b3
+            if n == 2:
+                a0, a1 = appends
+
+                def emit_b2(t: float, v0: Any, v1: Any) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    a0(v0)
+                    a1(v1)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b2
+            if n == 4:
+                a0, a1, a2, a3 = appends
+
+                def emit_b4(t: float, v0: Any, v1: Any, v2: Any,
+                            v3: Any) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    a0(v0)
+                    a1(v1)
+                    a2(v2)
+                    a3(v3)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b4
+            if n == 1:
+                a0, = appends
+
+                def emit_b1(t: float, v0: Any) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    a0(v0)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b1
+            if n == 5:
+                a0, a1, a2, a3, a4 = appends
+
+                def emit_b5(t: float, v0: Any, v1: Any, v2: Any, v3: Any,
+                            v4: Any) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    a0(v0)
+                    a1(v1)
+                    a2(v2)
+                    a3(v3)
+                    a4(v4)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b5
+            if n == 0:
+                def emit_b0(t: float) -> None:
+                    order_append(sid)
+                    t_append(t)
+                    if len(order) >= threshold:
+                        maybe_evict()
+                return emit_b0
 
             def emit_bounded(t: float, *values: Any) -> None:
                 order_append(sid)
                 t_append(t)
                 for do_append, value in zip(appends, values):
                     do_append(value)
-                maybe_evict()
+                if len(order) >= threshold:
+                    maybe_evict()
 
             return emit_bounded
         n = len(appends)
@@ -324,6 +401,47 @@ class TraceRing:
         self._decoded = decoded
         self._decoded_dropped = self.dropped
         return decoded
+
+    def tail(self, n: int) -> List[Dict[str, Any]]:
+        """Decode only the newest ``n`` records (flight-recorder dumps).
+
+        Skipping the prefix costs one pass over the order array to
+        position each shape's cursor — no prefix records are decoded.
+        """
+        if n <= 0:
+            return []
+        decoded = self._decoded
+        if (decoded is not None and len(decoded) == len(self._order)
+                and self._decoded_dropped == self.dropped):
+            return decoded[-n:]
+        order = self._order
+        skip = max(0, len(order) - n)
+        cursors = [0] * len(self._shapes)
+        for sid in order[:skip]:
+            cursors[sid] += 1
+        shapes = self._shapes
+        strings = self._strings
+        out: List[Dict[str, Any]] = []
+        for sid in order[skip:]:
+            shape = shapes[sid]
+            i = cursors[sid]
+            cursors[sid] = i + 1
+            record: Dict[str, Any] = {
+                "t": shape.times[i],
+                "cat": shape.category,
+                "ev": shape.event,
+            }
+            for name, kind, col in shape.plan:
+                if kind == "c":
+                    record[name] = col
+                elif kind == "s":
+                    record[name] = strings[col[i]]
+                elif kind == "b":
+                    record[name] = bool(col[i])
+                else:
+                    record[name] = col[i]
+            out.append(record)
+        return out
 
     def iter_records(self):
         """Decode records one at a time (no caching) — streaming writes.

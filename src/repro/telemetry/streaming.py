@@ -1,0 +1,721 @@
+"""Online statistics: O(1)-memory aggregation fed straight from the trace hooks.
+
+Every observability surface added so far — ``trace summarize``, spans,
+the attribution waterfalls, the airtime ledger — works by *retaining the
+whole trace* and decoding it after the run.  That is the wrong shape for
+campaign-scale fan-out (thousands of runs, each multi-minute): memory
+grows with sim duration and the decode pass costs as much as the
+simulation.  This module computes the common summary outputs *during*
+the run instead, with flat memory:
+
+* :class:`QuantileSketch` — a mergeable streaming quantile sketch
+  (t-digest-style weighted centroids with a uniform weight cap).  Memory
+  is bounded by ``max_centroids``; the rank error of any quantile query
+  is bounded by :attr:`QuantileSketch.rank_error_bound` (verified by the
+  Hypothesis property suite in ``tests/test_streaming.py``).  Sketches
+  built over two halves of a stream can be :meth:`QuantileSketch.merge`\\ d
+  and answer within the same bound as a single-pass sketch, which is what
+  lets campaign shards reduce without ever exchanging raw samples.
+* :class:`WindowedJain` — Jain's fairness index over tumbling
+  simulated-time windows of per-station airtime.
+* :class:`StreamingStats` — the per-run aggregator: per-station airtime
+  accounting (windowed to the measurement period exactly like
+  ``trace summarize``), per-layer sojourn sketches, per-station RTT
+  sketches, per-layer drop counters, and the windowed Jain series.
+
+``StreamingStats`` consumes records by registering *taps* on the
+:class:`~repro.telemetry.trace.TraceBus`: when an instrumentation site
+binds a prebound positional emitter for a shape the aggregator cares
+about, the bus tees the same positional values into a consumer closure —
+no dict is built, no record is retained.  With
+``TelemetryConfig(streaming=True)`` the trace ring is bounded to a small
+tail (kept for the flight recorder) and the run's summary tables come
+from the sketches, so peak memory no longer scales with sim duration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "QuantileSketch",
+    "WindowedJain",
+    "StreamingStats",
+    "jain_index",
+    "format_streaming",
+]
+
+#: Quantiles reported in every sketch snapshot.
+SNAPSHOT_QUANTILES = (0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``; 1.0 is fair."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares <= 0.0:
+        return 0.0
+    return (total * total) / (n * squares)
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile sketch with bounded memory.
+
+    The sketch keeps at most ``max_centroids`` weighted centroids
+    ``(mean, weight)`` sorted by mean, plus an insertion buffer of the
+    same size.  Incoming values accumulate in the buffer; when it fills,
+    the buffer is sorted and merge-compressed into the centroid list
+    with a *uniform* per-centroid weight cap of
+    ``ceil(total_weight / max_centroids)``.
+
+    **Error bound.**  With a uniform cap every centroid covers at most a
+    ``1 / max_centroids`` fraction of the total rank range, and the
+    query interpolates between centroid midpoints, so the rank of the
+    returned value differs from the requested rank by at most one
+    centroid's half-width on each side — plus the drift centroid means
+    accumulate over repeated compressions.  We document (and test
+    against) the conservative bound
+
+    ``|rank(estimate) - q| <= rank_error_bound = 4 / max_centroids``
+
+    e.g. ±2% rank error at the default ``max_centroids=200``.  Tail
+    queries (q=0, q=1) are exact: the sketch tracks min/max.
+
+    **Merging.**  ``a.merge(b)`` concatenates the centroid lists and
+    recompresses under the combined cap.  Because compression only ever
+    coalesces *adjacent* centroids, merging the sketches of two halves
+    of a stream answers within the same documented bound as one sketch
+    fed the whole stream (tested in ``tests/test_streaming.py``).
+    """
+
+    __slots__ = ("max_centroids", "_flush_at", "_count", "_total",
+                 "_min", "_max", "_means", "_weights", "_buffer")
+
+    def __init__(self, max_centroids: int = 200) -> None:
+        if max_centroids < 8:
+            raise ValueError("max_centroids must be at least 8")
+        self.max_centroids = max_centroids
+        # Buffered samples are exact weight-1 points, so a buffer larger
+        # than the centroid budget costs nothing in accuracy — it only
+        # amortises the sort in _compress over more samples.  Memory is
+        # still O(max_centroids).
+        self._flush_at = 4 * max_centroids
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._buffer: List[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def rank_error_bound(self) -> float:
+        """Documented maximum rank error of :meth:`quantile`."""
+        return 4.0 / self.max_centroids
+
+    @property
+    def count(self) -> int:
+        return self._count + len(self._buffer)
+
+    @property
+    def total(self) -> float:
+        return self._total + sum(self._buffer)
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        return self.total / count if count else 0.0
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Add one sample.  Amortised O(log max_centroids).
+
+        The hot path is two list operations; moments and min/max are
+        folded in batch (C-speed builtins over the buffer) at compress
+        time.
+        """
+        buffer = self._buffer
+        buffer.append(value)
+        if len(buffer) >= self._flush_at:
+            self._compress()
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (returns ``self``)."""
+        other._compress()
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._total += other._total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        # Merge-sort the two centroid lists by mean, then recompress.
+        self._compress(extra=list(zip(other._means, other._weights)))
+        return self
+
+    # ------------------------------------------------------------------
+    def _compress(self, extra: Optional[List[Tuple[float, float]]] = None) -> None:
+        """Fold the buffer (and ``extra`` centroids) into the centroid list."""
+        if not self._buffer and not extra and \
+                len(self._means) <= self.max_centroids:
+            return
+        points: List[Tuple[float, float]] = list(
+            zip(self._means, self._weights)
+        )
+        buffer = self._buffer
+        if buffer:
+            self._count += len(buffer)
+            self._total += sum(buffer)
+            lo, hi = min(buffer), max(buffer)
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+            points.extend((float(v), 1.0) for v in buffer)
+            buffer.clear()
+        if extra:
+            points.extend(extra)
+        if not points:
+            return
+        points.sort(key=lambda p: p[0])
+        total_weight = sum(w for _, w in points)
+        cap = max(1.0, math.ceil(total_weight / self.max_centroids))
+        means: List[float] = []
+        weights: List[float] = []
+        acc_mean, acc_weight = points[0]
+        for mean, weight in points[1:]:
+            if acc_weight + weight <= cap:
+                # Weighted running mean keeps the centroid unbiased.
+                acc_weight += weight
+                acc_mean += (mean - acc_mean) * (weight / acc_weight)
+            else:
+                means.append(acc_mean)
+                weights.append(acc_weight)
+                acc_mean, acc_weight = mean, weight
+        means.append(acc_mean)
+        weights.append(acc_weight)
+        self._means = means
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (midpoint-rank interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        self._compress()
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        total = sum(weights)
+        target = q * total
+        # Centroid i's mean sits at its midpoint rank.
+        cumulative = 0.0
+        prev_mid = 0.0
+        prev_mean = self._min
+        for mean, weight in zip(means, weights):
+            mid = cumulative + weight / 2.0
+            if target < mid:
+                span = mid - prev_mid
+                frac = (target - prev_mid) / span if span > 0 else 0.0
+                return prev_mean + (mean - prev_mean) * frac
+            cumulative += weight
+            prev_mid = mid
+            prev_mean = mean
+        # Past the last midpoint: interpolate toward the max.
+        span = total - prev_mid
+        frac = (target - prev_mid) / span if span > 0 else 1.0
+        value = prev_mean + (self._max - prev_mean) * frac
+        return min(value, self._max)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: count, moments, and standard quantiles."""
+        if self.count == 0:
+            return {"count": 0}
+        self._compress()
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+        }
+        for q in SNAPSHOT_QUANTILES:
+            out[f"p{int(q * 100):02d}"] = self.quantile(q)
+        return out
+
+
+class WindowedJain:
+    """Jain's fairness index over tumbling simulated-time windows.
+
+    Airtime contributions are accumulated per station inside the current
+    window; when the clock crosses the window boundary the index of the
+    closed window is appended to :attr:`series` as ``(t_end_us, jain)``.
+    Memory is O(stations + windows): one float per station plus two per
+    closed window (the series grows with sim *duration*, not with event
+    count — a 1 s window over a 300 s run is 300 entries).
+    """
+
+    __slots__ = ("window_us", "series", "_window_end", "_shares")
+
+    def __init__(self, window_us: float = 1_000_000.0) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = window_us
+        self.series: List[Tuple[float, float]] = []
+        self._window_end: Optional[float] = None
+        self._shares: Dict[int, float] = {}
+
+    def observe(self, t_us: float, station: int, airtime_us: float) -> None:
+        if self._window_end is None:
+            self._window_end = (
+                math.floor(t_us / self.window_us) + 1
+            ) * self.window_us
+        while t_us >= self._window_end:
+            self._close_window()
+        self._shares[station] = self._shares.get(station, 0.0) + airtime_us
+
+    def _close_window(self) -> None:
+        if self._shares:
+            self.series.append(
+                (self._window_end, jain_index(list(self._shares.values())))
+            )
+            self._shares.clear()
+        self._window_end += self.window_us
+
+    def flush(self) -> None:
+        """Close the current partial window (end of run)."""
+        if self._shares and self._window_end is not None:
+            self.series.append(
+                (self._window_end, jain_index(list(self._shares.values())))
+            )
+            self._shares.clear()
+
+    def reset(self) -> None:
+        """Restart the series in place (measurement-window reset).
+
+        In place because tap consumers close over this object; replacing
+        it would leave them feeding a dead instance.
+        """
+        self.series.clear()
+        self._shares.clear()
+        self._window_end = None
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self.series[-1][1] if self.series else None
+
+
+# ----------------------------------------------------------------------
+# Per-station accumulators (mirrors summarize._StationTx)
+# ----------------------------------------------------------------------
+class _StationAccount:
+    """Per-station transmission totals within the measurement window."""
+
+    __slots__ = ("transmissions", "airtime_us", "downlink_airtime_us",
+                 "uplink_airtime_us", "payload_bytes", "packets",
+                 "downlink_aggs", "downlink_agg_packets")
+
+    def __init__(self) -> None:
+        self.transmissions = 0
+        self.airtime_us = 0.0
+        self.downlink_airtime_us = 0.0
+        self.uplink_airtime_us = 0.0
+        self.payload_bytes = 0
+        self.packets = 0
+        self.downlink_aggs = 0
+        self.downlink_agg_packets = 0
+
+    @property
+    def mean_aggregation(self) -> float:
+        if self.downlink_aggs == 0:
+            return 0.0
+        return self.downlink_agg_packets / self.downlink_aggs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "transmissions": self.transmissions,
+            "airtime_us": self.airtime_us,
+            "downlink_airtime_us": self.downlink_airtime_us,
+            "uplink_airtime_us": self.uplink_airtime_us,
+            "payload_bytes": self.payload_bytes,
+            "packets": self.packets,
+            "mean_aggregation": self.mean_aggregation,
+        }
+
+
+def _field_index(fields: Sequence[Tuple[Any, ...]], name: str) -> Optional[int]:
+    """Positional slot of ``name`` among the non-constant fields."""
+    index = 0
+    for spec in fields:
+        if spec[1] == "c":
+            continue
+        if spec[0] == name:
+            return index
+        index += 1
+    return None
+
+
+class StreamingStats:
+    """O(1)-memory per-run aggregator fed from the trace-bus taps.
+
+    Registered on a :class:`~repro.telemetry.trace.TraceBus` via
+    :meth:`register`; every shape the aggregator understands is consumed
+    positionally (prebound sites) or from the kwargs dict (generic
+    sites).  Everything is windowed like ``trace summarize``: the
+    per-station airtime table resets at the ``measurement_start`` marker,
+    drop counters and sojourn sketches cover the whole trace.
+    """
+
+    def __init__(self, max_centroids: int = 200,
+                 jain_window_us: float = 1_000_000.0) -> None:
+        self.max_centroids = max_centroids
+        #: station -> transmission accounting (measurement window).
+        self.stations: Dict[int, _StationAccount] = {}
+        #: layer -> sojourn sketch (whole trace; µs).
+        self.sojourn: Dict[str, QuantileSketch] = {}
+        #: station -> RTT sketch (measurement window; µs).
+        self.rtt: Dict[int, QuantileSketch] = {}
+        #: (layer, reason) -> drop count.
+        self.drops: Dict[Tuple[str, str], int] = {}
+        #: (layer, station) -> [enqueues, dequeues].
+        self.queue_counts: Dict[Tuple[str, Any], List[int]] = {}
+        self.jain = WindowedJain(jain_window_us)
+        #: One-cell record counter shared by every bound consumer — a
+        #: closure-local list increment is cheaper per record than an
+        #: attribute store on ``self``.
+        self._seen = [0]
+        self.measurement_start_us: Optional[float] = None
+
+    @property
+    def records_seen(self) -> int:
+        return self._seen[0]
+
+    # ------------------------------------------------------------------
+    # Tap protocol
+    # ------------------------------------------------------------------
+    def register(self, bus) -> None:
+        """Attach this aggregator's taps to ``bus`` (before channels bind)."""
+        bus.add_tap("tx", "tx", self._bind_tx)
+        bus.add_tap("queue", "dequeue", self._bind_dequeue)
+        bus.add_tap("queue", "drop", self._bind_drop)
+        bus.add_tap("queue", "enqueue", self._bind_enqueue)
+        bus.add_tap("meta", "measurement_start", self._bind_measurement_start)
+
+    # Each binder receives the site's field declaration and returns a
+    # positional consumer ``fn(t, *values)`` for that shape.
+    def _bind_tx(self, fields: Sequence[Tuple[Any, ...]]) -> Callable[..., None]:
+        i_station = _field_index(fields, "station")
+        i_airtime = _field_index(fields, "airtime_us")
+        i_down = _field_index(fields, "down")
+        i_pkts = _field_index(fields, "n_pkts")
+        i_bytes = _field_index(fields, "bytes")
+        i_ok = _field_index(fields, "ok")
+        stations = self.stations
+        jain = self.jain
+        seen = self._seen
+
+        def consume(t: float, *values: Any) -> None:
+            seen[0] += 1
+            station = values[i_station]
+            airtime = values[i_airtime]
+            account = stations.get(station)
+            if account is None:
+                account = stations[station] = _StationAccount()
+            account.transmissions += 1
+            account.airtime_us += airtime
+            account.packets += values[i_pkts]
+            if values[i_down]:
+                account.downlink_airtime_us += airtime
+                account.downlink_aggs += 1
+                account.downlink_agg_packets += values[i_pkts]
+                if values[i_ok]:
+                    account.payload_bytes += values[i_bytes]
+            else:
+                account.uplink_airtime_us += airtime
+            jain.observe(t, station, airtime)
+
+        return consume
+
+    def _bind_dequeue(self, fields: Sequence[Tuple[Any, ...]]) -> Optional[Callable[..., None]]:
+        i_layer = _field_index(fields, "layer")
+        i_station = _field_index(fields, "station")
+        i_sojourn = _field_index(fields, "sojourn_us")
+        layer_const = next(
+            (spec[2] for spec in fields
+             if spec[0] == "layer" and spec[1] == "c"), None,
+        )
+        if i_sojourn is None:
+            return None
+        sojourn = self.sojourn
+        counts = self.queue_counts
+        max_centroids = self.max_centroids
+        seen = self._seen
+
+        if layer_const is not None and i_layer is None:
+            # Constant-layer site: resolve the sketch once at bind time
+            # (``reset_window`` never replaces sojourn sketches, so the
+            # binding stays valid for the life of the run) and cache the
+            # station -> [enq, deq] pair so the hot path does one small
+            # int-keyed dict probe instead of building a tuple key.
+            sketch = sojourn.get(layer_const)
+            if sketch is None:
+                sketch = sojourn[layer_const] = QuantileSketch(max_centroids)
+            # Inline the sketch's observe: append to its sample buffer
+            # directly (the buffer list is never replaced — _compress
+            # clears it in place) and trip the amortised compress here.
+            buffer = sketch._buffer
+            buffer_append = buffer.append
+            flush_at = sketch._flush_at
+            compress = sketch._compress
+            pairs: Dict[Any, List[int]] = {}
+
+            def consume(t: float, *values: Any) -> None:
+                seen[0] += 1
+                buffer_append(values[i_sojourn])
+                if len(buffer) >= flush_at:
+                    compress()
+                station = None if i_station is None else values[i_station]
+                pair = pairs.get(station)
+                if pair is None:
+                    pair = pairs[station] = counts.setdefault(
+                        (layer_const, station), [0, 0])
+                pair[1] += 1
+
+            return consume
+
+        def consume(t: float, *values: Any) -> None:
+            seen[0] += 1
+            layer = layer_const if i_layer is None else values[i_layer]
+            sketch = sojourn.get(layer)
+            if sketch is None:
+                sketch = sojourn[layer] = QuantileSketch(max_centroids)
+            sketch.observe(values[i_sojourn])
+            station = None if i_station is None else values[i_station]
+            key = (layer, station)
+            pair = counts.get(key)
+            if pair is None:
+                pair = counts[key] = [0, 0]
+            pair[1] += 1
+
+        return consume
+
+    def _bind_enqueue(self, fields: Sequence[Tuple[Any, ...]]) -> Callable[..., None]:
+        i_layer = _field_index(fields, "layer")
+        i_station = _field_index(fields, "station")
+        layer_const = next(
+            (spec[2] for spec in fields
+             if spec[0] == "layer" and spec[1] == "c"), None,
+        )
+        counts = self.queue_counts
+        seen = self._seen
+
+        if layer_const is not None and i_layer is None:
+            pairs: Dict[Any, List[int]] = {}
+
+            def consume(t: float, *values: Any) -> None:
+                seen[0] += 1
+                station = None if i_station is None else values[i_station]
+                pair = pairs.get(station)
+                if pair is None:
+                    pair = pairs[station] = counts.setdefault(
+                        (layer_const, station), [0, 0])
+                pair[0] += 1
+
+            return consume
+
+        def consume(t: float, *values: Any) -> None:
+            seen[0] += 1
+            layer = layer_const if i_layer is None else values[i_layer]
+            station = None if i_station is None else values[i_station]
+            key = (layer, station)
+            pair = counts.get(key)
+            if pair is None:
+                pair = counts[key] = [0, 0]
+            pair[0] += 1
+
+        return consume
+
+    def _bind_drop(self, fields: Sequence[Tuple[Any, ...]]) -> Callable[..., None]:
+        i_layer = _field_index(fields, "layer")
+        i_reason = _field_index(fields, "reason")
+        layer_const = next(
+            (spec[2] for spec in fields
+             if spec[0] == "layer" and spec[1] == "c"), None,
+        )
+        drops = self.drops
+        seen = self._seen
+
+        def consume(t: float, *values: Any) -> None:
+            seen[0] += 1
+            layer = layer_const if i_layer is None else values[i_layer]
+            reason = values[i_reason] if i_reason is not None else "?"
+            key = (layer, reason)
+            drops[key] = drops.get(key, 0) + 1
+
+        return consume
+
+    def _bind_measurement_start(self, fields: Sequence[Tuple[Any, ...]]) -> Callable[..., None]:
+        def consume(t: float, *values: Any) -> None:
+            self.reset_window(t)
+
+        return consume
+
+    # ------------------------------------------------------------------
+    def reset_window(self, t_us: float) -> None:
+        """Start the measurement window: discard warm-up accounting.
+
+        Mirrors ``trace summarize``'s windowing (and the
+        ``AirtimeTracker`` reset): station totals, RTT sketches, and the
+        Jain series restart; sojourn sketches and drop counters keep
+        whole-trace scope, exactly like the decode path.
+        """
+        self.measurement_start_us = t_us
+        self.stations.clear()
+        self.rtt.clear()
+        self.jain.reset()
+
+    def observe_rtt(self, station: int, rtt_us: float) -> None:
+        """Feed one application-level RTT sample (ping flows)."""
+        sketch = self.rtt.get(station)
+        if sketch is None:
+            sketch = self.rtt[station] = QuantileSketch(self.max_centroids)
+        sketch.observe(rtt_us)
+
+    # ------------------------------------------------------------------
+    def airtime_shares(self) -> Dict[int, float]:
+        total = sum(s.airtime_us for s in self.stations.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.stations}
+        return {k: s.airtime_us / total for k, s in self.stations.items()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready snapshot of every accumulator."""
+        self.jain.flush()
+        shares = self.airtime_shares()
+        return {
+            "records_seen": self.records_seen,
+            "measurement_start_us": self.measurement_start_us,
+            "rank_error_bound": 4.0 / self.max_centroids,
+            "stations": {
+                str(station): {**account.to_dict(),
+                               "airtime_share": shares[station]}
+                for station, account in sorted(self.stations.items())
+            },
+            "sojourn_us": {
+                layer: sketch.to_dict()
+                for layer, sketch in sorted(self.sojourn.items())
+            },
+            "rtt_us": {
+                str(station): sketch.to_dict()
+                for station, sketch in sorted(self.rtt.items())
+            },
+            "drops": {
+                f"{layer}:{reason}": count
+                for (layer, reason), count in sorted(self.drops.items())
+            },
+            "queues": {
+                f"{layer}:{'-' if station is None else station}": {
+                    "enqueues": pair[0], "dequeues": pair[1],
+                }
+                for (layer, station), pair in sorted(
+                    self.queue_counts.items(),
+                    key=lambda item: (item[0][0], str(item[0][1])),
+                )
+            },
+            "jain": {
+                "window_us": self.jain.window_us,
+                "series": [[t, round(j, 6)] for t, j in self.jain.series],
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_streaming(snapshot: Dict[str, Any], title: str = "") -> str:
+    """Render a :meth:`StreamingStats.snapshot` as CLI text tables."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"# {title}")
+    lines.append(
+        f"{snapshot.get('records_seen', 0)} records consumed online "
+        f"(rank error bound ±{snapshot.get('rank_error_bound', 0.0):.1%})"
+    )
+    stations = snapshot.get("stations") or {}
+    if stations:
+        lines.append("")
+        lines.append("Per-station transmissions (measurement window):")
+        lines.append(
+            f"{'station':>8} {'tx':>7} {'airtime_ms':>11} {'share':>7} "
+            f"{'bytes':>12} {'mean_agg':>9}"
+        )
+        for station, acc in stations.items():
+            lines.append(
+                f"{station:>8} {acc['transmissions']:>7} "
+                f"{acc['airtime_us'] / 1e3:>11.2f} "
+                f"{acc['airtime_share']:>7.1%} "
+                f"{acc['payload_bytes']:>12} {acc['mean_aggregation']:>9.1f}"
+            )
+    sojourn = snapshot.get("sojourn_us") or {}
+    if sojourn:
+        lines.append("")
+        lines.append("Sojourn quantiles by layer (ms, streaming sketch):")
+        lines.append(f"{'layer':>8} {'count':>9} {'p50':>9} {'p90':>9} "
+                     f"{'p95':>9} {'p99':>9} {'max':>9}")
+        for layer, sk in sojourn.items():
+            if not sk.get("count"):
+                continue
+            lines.append(
+                f"{layer:>8} {sk['count']:>9} "
+                f"{sk['p50'] / 1e3:>9.2f} {sk['p90'] / 1e3:>9.2f} "
+                f"{sk['p95'] / 1e3:>9.2f} {sk['p99'] / 1e3:>9.2f} "
+                f"{sk['max'] / 1e3:>9.2f}"
+            )
+    rtt = snapshot.get("rtt_us") or {}
+    if rtt:
+        lines.append("")
+        lines.append("RTT quantiles by station (ms, streaming sketch):")
+        lines.append(f"{'station':>8} {'count':>9} {'p50':>9} {'p95':>9} "
+                     f"{'p99':>9}")
+        for station, sk in rtt.items():
+            if not sk.get("count"):
+                continue
+            lines.append(
+                f"{station:>8} {sk['count']:>9} {sk['p50'] / 1e3:>9.2f} "
+                f"{sk['p95'] / 1e3:>9.2f} {sk['p99'] / 1e3:>9.2f}"
+            )
+    drops = snapshot.get("drops") or {}
+    if drops:
+        lines.append("")
+        lines.append("Drops by layer and reason:")
+        for key, count in drops.items():
+            lines.append(f"  {key:<20} {count}")
+    jain = snapshot.get("jain") or {}
+    series = jain.get("series") or []
+    if series:
+        values = [j for _, j in series]
+        lines.append("")
+        lines.append(
+            f"Windowed Jain ({jain['window_us'] / 1e6:g}s windows): "
+            f"min {min(values):.3f}, mean {sum(values) / len(values):.3f}, "
+            f"last {values[-1]:.3f} over {len(values)} windows"
+        )
+    return "\n".join(lines)

@@ -72,6 +72,10 @@ class TraceSummary:
     t_first_us: Optional[float] = None
     t_last_us: Optional[float] = None
     measurement_start_us: Optional[float] = None
+    #: Records a bounded trace ring evicted before this trace was
+    #: serialised (the ``ring_overflow`` header record) — everything
+    #: below is computed from the *retained tail only*.
+    ring_dropped: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
     #: Station -> transmission totals (measurement window only).
     stations: Dict[int, _StationTx] = field(default_factory=dict)
@@ -101,7 +105,14 @@ class TraceSummary:
 
 def summarize_records(records: List[Mapping[str, Any]]) -> TraceSummary:
     """Aggregate a record list (in emission order) into a summary."""
-    summary = TraceSummary(total_records=len(records))
+    summary = TraceSummary()
+    # A bounded ring serialises its eviction count as a leading
+    # ``ring_overflow`` marker; fold it out so it never skews the
+    # record count or the trace's time span.
+    if records and records[0].get("ev") == "ring_overflow":
+        summary.ring_dropped = int(records[0].get("dropped", 0))
+        records = records[1:]
+    summary.total_records = len(records)
     if records:
         summary.t_first_us = records[0]["t"]
         summary.t_last_us = records[-1]["t"]
@@ -207,6 +218,11 @@ def format_summary(summary: TraceSummary, title: str = "") -> str:
         span = (f", {summary.t_first_us / 1e6:.3f}s – "
                 f"{summary.t_last_us / 1e6:.3f}s")
     lines.append(f"{summary.total_records} records{span}")
+    if summary.ring_dropped:
+        lines.append(
+            f"WARNING: bounded trace ring dropped {summary.ring_dropped} "
+            f"older records — tables below cover the retained tail only"
+        )
     if summary.by_category:
         lines.append("categories: " + ", ".join(
             f"{cat}={count}" for cat, count in summary.by_category.items()

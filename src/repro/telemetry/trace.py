@@ -41,6 +41,56 @@ from repro.telemetry.ring import FieldSpec, TraceRing
 __all__ = ["TraceBus", "TraceChannel", "RingTraceChannel", "load_trace"]
 
 
+def _tee(emit, consumers, fields=None):
+    """Chain an emitter with tap consumers (rare: only tapped shapes).
+
+    With ``fields`` the single-consumer wrapper is specialised to the
+    shape's positional arity, so the hot path forwards values without
+    packing them into a tuple twice.
+    """
+    if not consumers:
+        return emit
+    if len(consumers) == 1:
+        consume = consumers[0]
+        n = (sum(1 for spec in fields if spec[1] != "c")
+             if fields is not None else -1)
+        if n == 3:
+            def emit_tapped3(t: float, v0: Any, v1: Any, v2: Any) -> None:
+                emit(t, v0, v1, v2)
+                consume(t, v0, v1, v2)
+            return emit_tapped3
+        if n == 2:
+            def emit_tapped2(t: float, v0: Any, v1: Any) -> None:
+                emit(t, v0, v1)
+                consume(t, v0, v1)
+            return emit_tapped2
+        if n == 4:
+            def emit_tapped4(t: float, v0: Any, v1: Any, v2: Any,
+                             v3: Any) -> None:
+                emit(t, v0, v1, v2, v3)
+                consume(t, v0, v1, v2, v3)
+            return emit_tapped4
+        if n == 5:
+            def emit_tapped5(t: float, v0: Any, v1: Any, v2: Any,
+                             v3: Any, v4: Any) -> None:
+                emit(t, v0, v1, v2, v3, v4)
+                consume(t, v0, v1, v2, v3, v4)
+            return emit_tapped5
+
+        def emit_tapped(t: float, *values: Any) -> None:
+            emit(t, *values)
+            consume(t, *values)
+
+        return emit_tapped
+    sinks = (emit, *consumers)
+
+    def emit_tapped(t: float, *values: Any) -> None:
+        for sink in sinks:
+            sink(t, *values)
+
+    return emit_tapped
+
+
 class TraceChannel:
     """A category-bound emitter handed to one instrumentation site.
 
@@ -51,10 +101,12 @@ class TraceChannel:
     :class:`RingTraceChannel` with the same API.
     """
 
-    __slots__ = ("_records", "category")
+    __slots__ = ("_records", "_bus", "category")
 
-    def __init__(self, records: List[Dict[str, Any]], category: str) -> None:
+    def __init__(self, records: List[Dict[str, Any]], category: str,
+                 bus: Optional["TraceBus"] = None) -> None:
         self._records = records
+        self._bus = bus
         self.category = category
 
     def emit(self, t_us: float, event: str, **fields: Any) -> None:
@@ -63,6 +115,8 @@ class TraceChannel:
         if fields:
             record.update(fields)
         self._records.append(record)
+        if self._bus is not None and self._bus._taps:
+            self._bus.dispatch_generic(self.category, event, t_us, fields)
 
     def emitter(self, event: str, fields: Sequence[FieldSpec]):
         """A positional emitter ``fn(t, *values)`` building dict records.
@@ -87,25 +141,43 @@ class TraceChannel:
                     index += 1
             append(record)
 
-        return emit
+        if self._bus is None:
+            return emit
+        return _tee(emit, self._bus.bind_taps(category, event, specs),
+                    specs)
 
 
 class RingTraceChannel:
     """Ring-backed trace channel: same API, columnar storage."""
 
-    __slots__ = ("_ring", "category")
+    __slots__ = ("_ring", "_bus", "category")
 
-    def __init__(self, ring: TraceRing, category: str) -> None:
+    def __init__(self, ring: TraceRing, category: str,
+                 bus: Optional["TraceBus"] = None) -> None:
         self._ring = ring
+        self._bus = bus
         self.category = category
 
     def emit(self, t_us: float, event: str, **fields: Any) -> None:
         """Append one record at simulated time ``t_us``."""
         self._ring.append_generic(self.category, event, t_us, fields)
+        if self._bus is not None and self._bus._taps:
+            self._bus.dispatch_generic(self.category, event, t_us, fields)
 
     def emitter(self, event: str, fields: Sequence[FieldSpec]):
-        """A prebound positional emitter for one record shape."""
-        return self._ring.emitter(self.category, event, fields)
+        """A prebound positional emitter for one record shape.
+
+        When the bus holds streaming taps for ``(category, event)`` the
+        returned emitter tees the same positional values into each tap's
+        consumer — the online-statistics path pays no dict build and no
+        record decode.
+        """
+        emit = self._ring.emitter(self.category, event, fields)
+        if self._bus is None:
+            return emit
+        return _tee(emit,
+                    self._bus.bind_taps(self.category, event, fields),
+                    fields)
 
 
 class TraceBus:
@@ -121,9 +193,17 @@ class TraceBus:
     ``"dict"`` (legacy).  ``capacity`` bounds the ring to the newest N
     records (evictions are counted in :attr:`dropped`); it requires the
     ring backend.
+
+    **Taps.**  :meth:`add_tap` registers a streaming consumer for one
+    ``(category, event)`` pair (see
+    :class:`repro.telemetry.streaming.StreamingStats`).  Channels handed
+    out *after* registration tee emitted records into the tap: prebound
+    positional emitters call the tap's bound consumer with the same
+    positional values (no dict built), generic ``emit(**fields)`` sites
+    dispatch the kwargs dict.  Untapped shapes pay nothing.
     """
 
-    __slots__ = ("_records", "_ring", "_filter")
+    __slots__ = ("_records", "_ring", "_filter", "_taps", "_generic_taps")
 
     def __init__(self, categories: Sequence[str] = (),
                  backend: str = "ring",
@@ -139,6 +219,14 @@ class TraceBus:
         else:
             raise ValueError(f"unknown trace backend {backend!r}")
         self._filter = frozenset(categories) if categories else None
+        #: (category, event) -> list of binder callables; a binder takes
+        #: the site's field declaration and returns ``fn(t, *values)``
+        #: (or None to decline that shape).
+        self._taps: Dict[tuple, list] = {}
+        #: Bound-consumer cache for generic ``emit(**fields)`` sites,
+        #: keyed by (category, event, field-name tuple) — kwargs order is
+        #: stable per call site, so each site binds once, not per record.
+        self._generic_taps: Dict[tuple, list] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -157,8 +245,54 @@ class TraceBus:
         if not self.wants(category):
             return None
         if self._ring is not None:
-            return RingTraceChannel(self._ring, category)
-        return TraceChannel(self._records, category)
+            return RingTraceChannel(self._ring, category, self)
+        return TraceChannel(self._records, category, self)
+
+    # ------------------------------------------------------------------
+    # Streaming taps
+    # ------------------------------------------------------------------
+    def add_tap(self, category: str, event: str, binder) -> None:
+        """Register a streaming consumer for ``(category, event)``.
+
+        ``binder(fields)`` is called once per instrumentation site that
+        binds an emitter for the pair, with the site's field declaration;
+        it returns a positional consumer ``fn(t, *values)`` or ``None``
+        to decline.  Register taps *before* components bind channels
+        (the Testbed builds Telemetry — and its taps — first).
+        """
+        self._taps.setdefault((category, event), []).append(binder)
+
+    def bind_taps(self, category: str, event: str,
+                  fields: Sequence[FieldSpec]) -> List:
+        """Bound consumers for one shape (empty for untapped shapes)."""
+        binders = self._taps.get((category, event))
+        if not binders:
+            return []
+        consumers = []
+        for binder in binders:
+            consumer = binder(tuple(fields))
+            if consumer is not None:
+                consumers.append(consumer)
+        return consumers
+
+    def dispatch_generic(self, category: str, event: str, t_us: float,
+                         fields: Dict[str, Any]) -> None:
+        """Tee one generic ``emit(**fields)`` record into the taps."""
+        key = (category, event, tuple(fields))
+        consumers = self._generic_taps.get(key)
+        if consumers is None:
+            binders = self._taps.get((category, event))
+            if binders:
+                specs = tuple((name, "o") for name in fields)
+                consumers = [c for c in (b(specs) for b in binders)
+                             if c is not None]
+            else:
+                consumers = []
+            self._generic_taps[key] = consumers
+        if consumers:
+            values = fields.values()
+            for consumer in consumers:
+                consumer(t_us, *values)
 
     # ------------------------------------------------------------------
     @property
@@ -183,10 +317,32 @@ class TraceBus:
             return self._ring.iter_records()
         return iter(self._records)
 
+    def tail(self, n: int) -> List[Dict[str, Any]]:
+        """The newest ``n`` records as dicts (flight-recorder dumps)."""
+        if self._ring is not None:
+            return self._ring.tail(n)
+        return list(self._records[-n:]) if n > 0 else []
+
+    def _overflow_header(self) -> Optional[Dict[str, Any]]:
+        """Marker record announcing bounded-ring evictions, or ``None``.
+
+        Serialised ahead of the retained records so ``trace summarize``
+        can surface the truncation (and ``--strict`` can refuse it)
+        instead of silently reading a truncated trace as clean.
+        """
+        if self.dropped <= 0:
+            return None
+        return {"t": 0.0, "cat": "meta", "ev": "ring_overflow",
+                "dropped": self.dropped}
+
     def dumps(self) -> str:
         """The full trace as JSONL text (deterministic key order)."""
         dumps = json.dumps
-        return "".join(
+        header = self._overflow_header()
+        prefix = (
+            dumps(header, separators=(",", ":")) + "\n" if header else ""
+        )
+        return prefix + "".join(
             dumps(record, separators=(",", ":")) + "\n"
             for record in self.iter_records()
         )
@@ -201,6 +357,10 @@ class TraceBus:
         target.parent.mkdir(parents=True, exist_ok=True)
         dumps = json.dumps
         with open(target, "w") as handle:
+            header = self._overflow_header()
+            if header is not None:
+                handle.write(dumps(header, separators=(",", ":")))
+                handle.write("\n")
             for record in self.iter_records():
                 handle.write(dumps(record, separators=(",", ":")))
                 handle.write("\n")

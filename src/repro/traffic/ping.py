@@ -8,6 +8,8 @@ are CDFs of these RTT samples.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.core.packet import AccessCategory, Packet, flow_id_allocator
 from repro.mac.station import ClientStation
 from repro.net.wire import Server
@@ -31,11 +33,16 @@ class PingFlow:
         station: ClientStation,
         interval_us: float = DEFAULT_PING_INTERVAL_US,
         ac: AccessCategory = AccessCategory.BE,
+        observer: Optional[Callable[[int, float], None]] = None,
     ) -> None:
         self.sim = sim
         self.server = server
         self.station = station
         self.ac = ac
+        #: Called ``observer(station_index, rtt_us)`` on every completed
+        #: round trip — how streaming telemetry sees RTT samples online
+        #: without retaining or re-reading ``rtts_us``.
+        self.observer = observer
         self.flow_id = flow_id_allocator()
         self.rtts_us: list[float] = []
         self.tx_probes = 0
@@ -90,7 +97,10 @@ class PingFlow:
         sent = self._outstanding.pop(pkt.seq, None)
         if sent is None:
             return
-        self.rtts_us.append(self.sim.now - sent)
+        rtt = self.sim.now - sent
+        self.rtts_us.append(rtt)
+        if self.observer is not None:
+            self.observer(self.station.index, rtt)
 
     # ------------------------------------------------------------------
     @property

@@ -14,6 +14,7 @@ from repro.mac.station import ClientStation
 from repro.net.wire import Server
 from repro.sim.batch import BatchSource
 from repro.sim.engine import Simulator
+from repro.telemetry.streaming import QuantileSketch
 from repro.traffic.arrivals import cbr_chunks
 
 __all__ = ["UdpDownloadFlow", "UdpSink", "DEFAULT_UDP_PACKET"]
@@ -23,13 +24,21 @@ DEFAULT_UDP_PACKET = 1500
 
 
 class UdpSink:
-    """Receives a UDP stream and tracks goodput and one-way delay."""
+    """Receives a UDP stream and tracks goodput and one-way delay.
+
+    Delay is accumulated in a
+    :class:`~repro.telemetry.streaming.QuantileSketch` rather than a
+    per-packet list, so a sink's memory stays O(1) no matter how long
+    the run — count, mean, min/max, and quantiles remain available via
+    the sketch.
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.rx_bytes = 0
         self.rx_packets = 0
-        self.delays_us: list[float] = []
+        #: One-way delay sketch (µs), covering the measurement window.
+        self.delay = QuantileSketch()
         self._window_start_us = 0.0
         self._window_bytes = 0
 
@@ -37,13 +46,13 @@ class UdpSink:
         self.rx_bytes += pkt.size
         self._window_bytes += pkt.size
         self.rx_packets += 1
-        self.delays_us.append(self.sim.now - pkt.created_us)
+        self.delay.observe(self.sim.now - pkt.created_us)
 
     def reset_window(self) -> None:
         """Start a fresh measurement window (drops warm-up samples)."""
         self._window_start_us = self.sim.now
         self._window_bytes = 0
-        self.delays_us.clear()
+        self.delay = QuantileSketch()
 
     def window_throughput_bps(self, end_us: Optional[float] = None) -> float:
         end = end_us if end_us is not None else self.sim.now

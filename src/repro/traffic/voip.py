@@ -56,7 +56,9 @@ class VoipFlow:
         self.flow_id = flow_id_allocator()
 
         self.tx_packets = 0
-        self.delays_us: list[float] = []
+        #: Packets received inside the measurement window.
+        self.rx_in_window = 0
+        self._delay_sum_us = 0.0
         self._jitter_us = 0.0  # RFC 3550 running interarrival jitter
         self._last_transit_us: float | None = None
         self._seq = 0
@@ -74,7 +76,8 @@ class VoipFlow:
 
     def reset_window(self) -> None:
         """Discard warm-up samples."""
-        self.delays_us.clear()
+        self.rx_in_window = 0
+        self._delay_sum_us = 0.0
         self._jitter_us = 0.0
         self._last_transit_us = None
         self._window_first_seq = self._seq + 1
@@ -99,7 +102,8 @@ class VoipFlow:
         if pkt.seq < self._window_first_seq:
             return
         transit = self.sim.now - pkt.created_us
-        self.delays_us.append(transit)
+        self.rx_in_window += 1
+        self._delay_sum_us += transit
         if self._last_transit_us is not None:
             delta = abs(transit - self._last_transit_us)
             self._jitter_us += (delta - self._jitter_us) / 16.0
@@ -108,11 +112,11 @@ class VoipFlow:
     # ------------------------------------------------------------------
     def stats(self, params: EModelParams = EModelParams()) -> VoipStats:
         """Summarise the measurement window into delay/jitter/loss/MOS."""
-        received = len(self.delays_us)
+        received = self.rx_in_window
         sent = self.tx_packets
         loss = 0.0 if sent == 0 else max(0.0, 1.0 - received / sent)
         mean_delay_ms = (
-            sum(self.delays_us) / received / 1000.0 if received else 1000.0
+            self._delay_sum_us / received / 1000.0 if received else 1000.0
         )
         jitter_ms = self._jitter_us / 1000.0
         return VoipStats(

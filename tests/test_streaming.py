@@ -1,0 +1,374 @@
+"""Streaming statistics: sketch error bounds, merging, and decode parity.
+
+The streaming path exists so summaries no longer require full-trace
+retention; its whole value rests on two promises tested here:
+
+* the quantile sketch answers within its *documented* rank-error bound,
+  including after merging shard sketches (Hypothesis properties), and
+* an online run produces the same airtime / drop / queue tables as the
+  legacy decode path, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.ap import Scheme
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.streaming import (
+    QuantileSketch,
+    StreamingStats,
+    WindowedJain,
+    format_streaming,
+    jain_index,
+)
+from repro.telemetry.summarize import summarize_records
+
+from tests.conftest import make_testbed
+
+# ----------------------------------------------------------------------
+# Rank-error helper
+# ----------------------------------------------------------------------
+def rank_interval(data: list, value: float) -> tuple:
+    """Empirical rank range of ``value`` in ``data`` (handles ties)."""
+    n = len(data)
+    below = sum(1 for x in data if x < value)
+    at_or_below = sum(1 for x in data if x <= value)
+    return below / n, at_or_below / n
+
+
+QUANTILE_GRID = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=2000,
+)
+
+
+def assert_within_bound(sketch: QuantileSketch, data: list) -> None:
+    # The documented sketch bound, plus one sample of discretisation
+    # slack: with n samples every achievable empirical rank is a
+    # multiple of 1/n, so an interpolated estimate can legitimately sit
+    # up to one sample-width from the requested rank even when the
+    # sketch itself is exact.
+    slack = sketch.rank_error_bound + 1.0 / len(data)
+    for q in QUANTILE_GRID:
+        estimate = sketch.quantile(q)
+        lo, hi = rank_interval(data, estimate)
+        assert lo - slack <= q <= hi + slack, (
+            f"q={q}: estimate {estimate} has rank [{lo}, {hi}], "
+            f"outside ±{slack}"
+        )
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch properties
+# ----------------------------------------------------------------------
+class TestQuantileSketch:
+    @given(data=samples)
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_within_documented_rank_error(self, data):
+        sketch = QuantileSketch(max_centroids=64)
+        for value in data:
+            sketch.observe(value)
+        assert_within_bound(sketch, data)
+
+    @given(data=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_merged_halves_match_single_pass_bound(self, data):
+        """Shard sketches merged answer within the same documented bound."""
+        mid = len(data) // 2
+        left, right = QuantileSketch(64), QuantileSketch(64)
+        for value in data[:mid]:
+            left.observe(value)
+        for value in data[mid:]:
+            right.observe(value)
+        merged = left.merge(right)
+        assert merged.count == len(data)
+        assert merged.total == pytest.approx(sum(data), rel=1e-9, abs=1e-6)
+        assert_within_bound(merged, data)
+
+    @given(data=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_empty_is_identity(self, data):
+        sketch = QuantileSketch(64)
+        for value in data:
+            sketch.observe(value)
+        before = [sketch.quantile(q) for q in QUANTILE_GRID]
+        sketch.merge(QuantileSketch(64))
+        assert [sketch.quantile(q) for q in QUANTILE_GRID] == before
+
+    @given(data=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_tails_and_moments_are_exact(self, data):
+        sketch = QuantileSketch(64)
+        for value in data:
+            sketch.observe(value)
+        assert sketch.quantile(0.0) == min(data)
+        assert sketch.quantile(1.0) == max(data)
+        assert sketch.count == len(data)
+        assert sketch.mean == pytest.approx(
+            sum(data) / len(data), rel=1e-9, abs=1e-6
+        )
+
+    @given(data=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_memory_stays_bounded(self, data):
+        sketch = QuantileSketch(max_centroids=16)
+        for value in data:
+            sketch.observe(value)
+            assert len(sketch._buffer) <= sketch._flush_at
+        sketch._compress()
+        assert len(sketch._means) <= sketch.max_centroids
+
+    def test_empty_and_single_value(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.to_dict() == {"count": 0}
+        sketch.observe(42.0)
+        for q in (0.0, 0.3, 0.5, 1.0):
+            assert sketch.quantile(q) == 42.0
+
+    def test_monotone_in_q(self):
+        sketch = QuantileSketch(32)
+        for i in range(5000):
+            sketch.observe((i * 37) % 1000)
+        values = [sketch.quantile(q / 100) for q in range(0, 101, 5)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(max_centroids=4)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(1.5)
+
+    def test_to_dict_snapshot_keys(self):
+        sketch = QuantileSketch(64)
+        for i in range(1000):
+            sketch.observe(float(i))
+        snap = sketch.to_dict()
+        assert snap["count"] == 1000
+        assert snap["min"] == 0.0 and snap["max"] == 999.0
+        assert abs(snap["p50"] - 499.5) <= 1000 * sketch.rank_error_bound
+
+
+# ----------------------------------------------------------------------
+# Jain index + windows
+# ----------------------------------------------------------------------
+class TestWindowedJain:
+    def test_jain_index_basics(self):
+        assert jain_index([]) == 0.0
+        assert jain_index([0.0, 0.0]) == 0.0
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+        # One active station out of n gives 1/n.
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_windows_close_on_time(self):
+        jain = WindowedJain(window_us=1000.0)
+        jain.observe(100.0, 0, 10.0)
+        jain.observe(200.0, 1, 10.0)
+        assert jain.series == []          # window still open
+        jain.observe(1500.0, 0, 10.0)     # crosses the boundary
+        assert len(jain.series) == 1
+        t_end, index = jain.series[0]
+        assert t_end == 1000.0
+        assert index == pytest.approx(1.0)
+        jain.flush()
+        assert len(jain.series) == 2      # the partial second window
+
+    def test_gap_spanning_multiple_windows(self):
+        jain = WindowedJain(window_us=1000.0)
+        jain.observe(100.0, 0, 1.0)
+        jain.observe(5500.0, 0, 1.0)      # jumps 4 empty windows
+        # Empty windows emit nothing (no airtime means no index).
+        assert len(jain.series) == 1
+
+    def test_reset_is_in_place(self):
+        """Tap consumers close over the object; reset must not replace it."""
+        jain = WindowedJain(window_us=1000.0)
+        alias = jain
+        jain.observe(100.0, 0, 1.0)
+        jain.reset()
+        assert alias is jain
+        assert alias.series == [] and alias.latest is None
+        alias.observe(2500.0, 0, 1.0)
+        alias.flush()
+        assert len(jain.series) == 1
+
+
+# ----------------------------------------------------------------------
+# StreamingStats consumers (synthetic taps, no simulator)
+# ----------------------------------------------------------------------
+class TestStreamingStatsUnits:
+    TX_FIELDS = (
+        ("station", "q"), ("airtime_us", "d"), ("tx_us", "d"),
+        ("down", "b"), ("agg", "q"), ("n_pkts", "q"),
+        ("bytes", "q"), ("ac", "s"), ("ok", "b"), ("retries", "q"),
+    )
+
+    def _tx(self, stats):
+        return stats._bind_tx(self.TX_FIELDS)
+
+    def test_tx_accounting_and_measurement_reset(self):
+        stats = StreamingStats()
+        consume = self._tx(stats)
+        # Warm-up traffic, then the measurement marker, then real traffic.
+        consume(10.0, 0, 100.0, 90.0, True, 1, 4, 6000, "BE", True, 0)
+        stats.reset_window(20.0)
+        consume(30.0, 0, 200.0, 180.0, True, 2, 8, 12000, "BE", True, 0)
+        consume(40.0, 1, 50.0, 45.0, False, 0, 1, 1500, "BE", True, 0)
+        assert stats.measurement_start_us == 20.0
+        account = stats.stations[0]
+        assert account.transmissions == 1       # warm-up discarded
+        assert account.airtime_us == 200.0
+        assert account.payload_bytes == 12000
+        assert account.mean_aggregation == 8.0
+        assert stats.stations[1].uplink_airtime_us == 50.0
+        shares = stats.airtime_shares()
+        assert shares[0] == pytest.approx(0.8)
+        assert shares[1] == pytest.approx(0.2)
+
+    def test_failed_downlink_carries_airtime_not_bytes(self):
+        stats = StreamingStats()
+        consume = self._tx(stats)
+        consume(10.0, 0, 100.0, 90.0, True, 1, 4, 6000, "BE", False, 1)
+        account = stats.stations[0]
+        assert account.airtime_us == 100.0
+        assert account.payload_bytes == 0
+
+    def test_drop_and_queue_counters(self):
+        stats = StreamingStats()
+        drop = stats._bind_drop((("layer", "c", "qdisc"), ("reason", "s")))
+        drop(1.0, "overlimit")
+        drop(2.0, "overlimit")
+        drop(3.0, "codel")
+        assert stats.drops == {
+            ("qdisc", "overlimit"): 2, ("qdisc", "codel"): 1,
+        }
+        enq = stats._bind_enqueue((("layer", "c", "qdisc"), ("station", "q")))
+        deq = stats._bind_dequeue(
+            (("layer", "c", "qdisc"), ("station", "q"), ("sojourn_us", "d"))
+        )
+        enq(1.0, 7)
+        enq(2.0, 7)
+        deq(3.0, 7, 1500.0)
+        assert stats.queue_counts[("qdisc", 7)] == [2, 1]
+        assert stats.sojourn["qdisc"].count == 1
+
+    def test_dequeue_without_sojourn_field_is_skipped(self):
+        stats = StreamingStats()
+        assert stats._bind_dequeue((("layer", "c", "q"),)) is None
+
+    def test_snapshot_and_format_roundtrip(self):
+        stats = StreamingStats()
+        consume = self._tx(stats)
+        for i in range(10):
+            consume(float(i) * 1e5, i % 2, 100.0, 90.0,
+                    True, i, 4, 6000, "BE", True, 0)
+        stats.observe_rtt(0, 25_000.0)
+        snap = stats.snapshot()
+        assert snap["records_seen"] == 10
+        assert set(snap["stations"]) == {"0", "1"}
+        assert snap["rtt_us"]["0"]["count"] == 1
+        text = format_streaming(snap, title="unit")
+        assert "records consumed online" in text
+        assert "Windowed Jain" in text
+
+
+# ----------------------------------------------------------------------
+# Streaming vs decode parity on a real run
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestStreamingDecodeParity:
+    def _run(self, streaming: bool):
+        config = (TelemetryConfig(streaming=True) if streaming
+                  else TelemetryConfig(trace=True))
+        testbed = make_testbed(Scheme.AIRTIME, seed=7, telemetry=config)
+        from repro.experiments.workloads import saturating_udp_download
+
+        saturating_udp_download(testbed)
+        testbed.run(duration_s=0.4, warmup_s=0.1)
+        if streaming:
+            return testbed, testbed.finish_telemetry()
+        # Keep the raw records for an exact decode reference.
+        records = list(testbed.telemetry.trace.records)
+        summary = testbed.finish_telemetry()
+        return testbed, summary, records
+
+    def test_online_tables_match_decode_exactly(self):
+        _, streamed = self._run(streaming=True)
+        _, legacy, records = self._run(streaming=False)
+        # The headline tables must agree bit for bit, not approximately:
+        # both paths consume the same positional records.
+        assert streamed["airtime_us"] == legacy["airtime_us"]
+        assert streamed["drops"] == legacy["drops"]
+
+        decode = summarize_records(records)
+        snap = streamed["streaming"]
+        for station, tx in decode.stations.items():
+            account = snap["stations"][str(station)]
+            assert account["transmissions"] == tx.transmissions
+            assert account["airtime_us"] == tx.airtime_us
+            assert account["payload_bytes"] == tx.payload_bytes
+
+    def test_sketch_quantiles_track_decoded_sojourns(self):
+        _, streamed = self._run(streaming=True)
+        _, _, records = self._run(streaming=False)
+        exact = {}
+        for record in records:
+            if record.get("ev") == "dequeue" and "sojourn_us" in record:
+                exact.setdefault(record["layer"], []).append(
+                    record["sojourn_us"]
+                )
+        snap = streamed["streaming"]
+        bound = snap["rank_error_bound"]
+        checked = 0
+        for layer, values in exact.items():
+            sketch = snap["sojourn_us"].get(layer)
+            if sketch is None or sketch["count"] < 50:
+                continue
+            assert sketch["count"] == len(values)
+            slack = bound + 1.0 / len(values)
+            for q in (0.5, 0.9, 0.99):
+                lo, hi = rank_interval(values, sketch[f"p{int(q * 100):02d}"])
+                assert lo - slack <= q <= hi + slack
+                checked += 1
+        assert checked > 0
+
+    def test_streaming_keeps_ring_bounded(self):
+        testbed, summary = self._run(streaming=True)
+        capacity = testbed.options.telemetry.effective_capacity
+        assert capacity is not None
+        # The columnar ring evicts amortised; it never holds more than
+        # twice its capacity even though the run emitted far more.
+        assert summary["trace_records"] <= 2 * capacity
+        assert summary["streaming"]["records_seen"] > capacity
+
+
+# ----------------------------------------------------------------------
+# Ring-overflow surfacing in the decode path
+# ----------------------------------------------------------------------
+class TestRingOverflowSummary:
+    def test_summarize_folds_overflow_header(self):
+        header = {"t": 0.0, "cat": "meta", "ev": "ring_overflow",
+                  "dropped": 123}
+        body = [
+            {"t": 10.0, "cat": "queue", "ev": "enqueue", "layer": "qdisc"},
+            {"t": 20.0, "cat": "queue", "ev": "dequeue", "layer": "qdisc",
+             "sojourn_us": 10.0},
+        ]
+        summary = summarize_records([header] + body)
+        assert summary.ring_dropped == 123
+        # The header is bookkeeping, not an event.
+        assert summary.total_records == len(body)
+
+    def test_summarize_without_header_reports_zero(self):
+        summary = summarize_records(
+            [{"t": 10.0, "cat": "queue", "ev": "enqueue", "layer": "qdisc"}]
+        )
+        assert summary.ring_dropped == 0
