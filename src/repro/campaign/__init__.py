@@ -1,0 +1,87 @@
+"""Fault-tolerant campaign layer: checkpointed, resumable parameter sweeps.
+
+A *campaign* is a declarative parameter grid (axes × replication counts
+× a deterministic seed ladder) expanded into
+:class:`~repro.runner.spec.RunSpec`\\ s and executed through the
+existing :class:`~repro.runner.executor.Runner` — with the orchestration
+state made crash-safe end to end:
+
+* a **write-ahead journal** (checksummed append-only JSONL, fsync'd
+  commits) plus **shard-level result checkpoints** (atomic, checksummed,
+  one durable JSON file per cell), so a ``kill -9`` mid-sweep resumes
+  from the last committed shard and the merged output is byte-identical
+  to an uninterrupted run;
+* **per-cell retry budgets** with bounded exponential backoff and
+  seeded jitter, classified by failure mode (timeout / crash /
+  deterministic error / invariant violation / checkpoint IO);
+* a **streaming reducer** folding shards through mergeable
+  :class:`~repro.telemetry.streaming.QuantileSketch` aggregates, so
+  campaign memory stays flat in the replication count;
+* a **chaos-recovery harness** (``campaign chaos``) that self-injects
+  worker kills, parent SIGKILL/SIGINT, shard corruption, and simulated
+  disk pressure, then asserts resume-to-identical-results.
+
+Typical use::
+
+    from repro.campaign import CampaignEngine, CampaignSpec
+
+    spec = CampaignSpec.make(
+        name="scheme-sweep",
+        fn="repro.campaign.cells:simulate_cell",
+        grid={"scheme": ["fifo", "airtime"], "stations": ["three"]},
+        replications=8,
+    )
+    outcome = CampaignEngine(spec, "campaigns/scheme-sweep").run()
+
+or from the CLI::
+
+    python -m repro.experiments.cli campaign run spec.json --dir DIR
+    python -m repro.experiments.cli campaign resume --dir DIR
+    python -m repro.experiments.cli campaign status --dir DIR
+    python -m repro.experiments.cli campaign chaos --dir /tmp/chaos
+"""
+
+from repro.campaign.engine import (
+    CampaignEngine,
+    CampaignOutcome,
+    CampaignStatus,
+    CellStatus,
+    SpecMismatch,
+    campaign_status,
+    format_status,
+)
+from repro.campaign.journal import Journal, read_journal
+from repro.campaign.reducer import CampaignReducer, flatten_metrics
+from repro.campaign.retry import DEFAULT_BUDGETS, RetryPolicy, classify_failure
+from repro.campaign.shards import (
+    ShardCorrupt,
+    read_shard,
+    scan_shards,
+    shard_path,
+    write_shard,
+)
+from repro.campaign.spec import CampaignSpec, CellSpec
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignOutcome",
+    "CampaignReducer",
+    "CampaignSpec",
+    "CampaignStatus",
+    "CellSpec",
+    "CellStatus",
+    "DEFAULT_BUDGETS",
+    "Journal",
+    "RetryPolicy",
+    "ShardCorrupt",
+    "SpecMismatch",
+    "campaign_status",
+    "classify_failure",
+    "flatten_metrics",
+    "format_status",
+    "read_journal",
+    "read_shard",
+    "scan_shards",
+    "shard_path",
+    "write_shard",
+]

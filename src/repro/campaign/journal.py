@@ -1,0 +1,183 @@
+"""Write-ahead journal for campaign orchestration state.
+
+The journal is an append-only JSONL file.  Every line is a small
+envelope ``{"rec": <record>, "sha256": <hex>}`` where the checksum is
+over the canonical JSON of the record alone, so any torn tail — a line
+cut mid-write by ``kill -9``, a partially flushed buffer, bit rot — is
+detected on replay and discarded rather than misread.  *Commit* records
+(shard committed, campaign finished) are flushed and ``fsync``'d before
+the writer proceeds, which is the write-ahead guarantee: once the engine
+treats a cell as done, a crash cannot un-do it.
+
+Record vocabulary (the ``ev`` field):
+
+* ``campaign`` — header: spec digest, name, total cells.  Always first.
+* ``attempt``  — one failed attempt at a cell (class, error, attempt #).
+* ``commit``   — a cell's result is durably checkpointed in a shard.
+* ``gave_up``  — a cell exhausted its retry budget.
+* ``end``      — terminal footer: the campaign finished (clean or
+  partial).  Its *absence* is how ``campaign status`` distinguishes an
+  interrupted sweep from a complete one.
+
+Replay (:func:`read_journal`) verifies every checksum and stops at the
+first bad line; :meth:`Journal.recover` additionally rewrites the file
+to the valid prefix so appends never concatenate onto a torn line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.runner.atomicio import atomic_write_text, fsync_dir
+from repro.telemetry.logutil import get_logger
+
+__all__ = ["Journal", "read_journal", "encode_record"]
+
+log = get_logger("repro.campaign")
+
+
+def _record_sha(rec: Dict[str, Any]) -> str:
+    blob = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def encode_record(rec: Dict[str, Any]) -> str:
+    """One journal line (no newline): checksummed envelope around rec."""
+    return json.dumps(
+        {"rec": rec, "sha256": _record_sha(rec)},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def _decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """Parse and verify one journal line; ``None`` if torn/corrupt."""
+    try:
+        envelope = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    rec = envelope.get("rec")
+    if not isinstance(rec, dict) or not isinstance(rec.get("ev"), str):
+        return None
+    if _record_sha(rec) != envelope.get("sha256"):
+        return None
+    return rec
+
+
+def read_journal(
+    path: Union[str, os.PathLike]
+) -> Tuple[List[Dict[str, Any]], bool]:
+    """Replay a journal: ``(valid_records, truncated)``.
+
+    ``truncated`` is True when the file held anything beyond the valid
+    prefix — a torn final line after ``kill -9`` is the common case; a
+    checksum failure mid-file also stops the replay there, because
+    records after a corrupt one cannot be trusted to be complete.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        text = Path(path).read_text(errors="replace")
+    except OSError:
+        return records, False
+    parts = text.split("\n")
+    tail = parts[-1]  # "" when the file ends on a newline
+    for line in parts[:-1]:
+        if not line.strip():
+            continue
+        rec = _decode_line(line)
+        if rec is None:
+            return records, True
+        records.append(rec)
+    if tail.strip():
+        # A final line with no newline: either a torn write, or a write
+        # cut between the data and its newline.  If it verifies, keep
+        # the record — but still flag truncation so recovery rewrites
+        # the file and later appends never concatenate onto it.
+        rec = _decode_line(tail)
+        if rec is not None:
+            records.append(rec)
+        return records, True
+    return records, False
+
+
+class Journal:
+    """Append-only writer over the journal file.
+
+    Appends are best-effort for non-commit records (losing an ``attempt``
+    line under disk pressure degrades bookkeeping, not correctness);
+    commit records go through :meth:`commit`, which fsyncs and *raises*
+    on failure so the engine never believes in a checkpoint the disk
+    does not hold.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls, path: Union[str, os.PathLike]
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Replay + repair: rewrite the file to its valid prefix.
+
+        Returns the valid records and whether a torn tail was dropped.
+        After recovery the file ends on a newline, so subsequent appends
+        can never concatenate onto a partial line.
+        """
+        records, truncated = read_journal(path)
+        if truncated:
+            text = "".join(encode_record(rec) + "\n" for rec in records)
+            atomic_write_text(path, text)
+            log.warning(
+                "journal %s had a torn/corrupt tail; kept %d valid "
+                "record(s) and dropped the rest", path, len(records),
+            )
+        return records, truncated
+
+    # ------------------------------------------------------------------
+    def open(self) -> "Journal":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def append(self, rec: Dict[str, Any]) -> None:
+        """Append a non-commit record (best-effort under disk pressure)."""
+        if self._handle is None:
+            raise RuntimeError("journal not open")
+        try:
+            self._handle.write(encode_record(rec) + "\n")
+            self._handle.flush()
+        except OSError as exc:
+            log.warning("journal append failed (%s); continuing — "
+                        "orchestration state degrades gracefully", exc)
+
+    def commit(self, rec: Dict[str, Any]) -> None:
+        """Append + fsync a commit-class record; raises on IO failure."""
+        if self._handle is None:
+            raise RuntimeError("journal not open")
+        self._handle.write(encode_record(rec) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        fsync_dir(self.path.parent)
+
+    def __enter__(self) -> "Journal":
+        return self.open()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

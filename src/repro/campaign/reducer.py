@@ -1,0 +1,111 @@
+"""Streaming campaign reducer: fold shards into flat-memory aggregates.
+
+A campaign's scientific output is not the pile of per-cell results — it
+is the distribution of each metric *across replications* at every grid
+point.  The reducer folds committed shards one at a time (never holding
+more than one shard's value in memory) into per-grid-point
+:class:`~repro.telemetry.streaming.QuantileSketch`\\ es, one per numeric
+metric, so memory is O(grid points × metrics × max_centroids) no matter
+how many replications the seed ladder runs.
+
+Determinism: shards are folded in cell-index order, sketches coalesce
+only adjacent centroids, and the merged document is serialised with
+sorted keys — so the merged output of an interrupted-and-resumed
+campaign is byte-identical to an uninterrupted one (the chaos harness
+asserts exactly this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.telemetry.streaming import QuantileSketch
+
+__all__ = ["CampaignReducer", "flatten_metrics"]
+
+
+def flatten_metrics(value: Any, prefix: str = "") -> Iterable[Tuple[str, float]]:
+    """Yield ``(dotted.path, number)`` for every numeric leaf of a value.
+
+    Booleans are skipped (they are not metrics); lists index by
+    position.  Non-numeric leaves are ignored — cells may carry labels
+    alongside their measurements.
+    """
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix or "value", float(value)
+        return
+    if isinstance(value, dict):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten_metrics(value[key], path)
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            path = f"{prefix}[{i}]" if prefix else f"[{i}]"
+            yield from flatten_metrics(item, path)
+
+
+def _group_id(key: Dict[str, Any]) -> str:
+    """Canonical string identity of one grid point (axis values only)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+class CampaignReducer:
+    """Fold shard payloads into per-grid-point metric sketches."""
+
+    def __init__(self, max_centroids: int = 128) -> None:
+        self.max_centroids = max_centroids
+        #: group id -> metric path -> sketch over replications.
+        self.groups: Dict[str, Dict[str, QuantileSketch]] = {}
+        #: group id -> the grid-point key dict (for rendering).
+        self.group_keys: Dict[str, Dict[str, Any]] = {}
+        self.cells_folded = 0
+
+    # ------------------------------------------------------------------
+    def fold(self, payload: Dict[str, Any]) -> None:
+        """Consume one shard payload (``key``/``value`` fields)."""
+        key = payload.get("key") or {}
+        gid = _group_id(key)
+        metrics = self.groups.setdefault(gid, {})
+        self.group_keys.setdefault(gid, dict(key))
+        for path, number in flatten_metrics(payload.get("value")):
+            sketch = metrics.get(path)
+            if sketch is None:
+                sketch = metrics[path] = QuantileSketch(self.max_centroids)
+            sketch.observe(number)
+        self.cells_folded += 1
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready view of every group's sketches."""
+        out: Dict[str, Any] = {}
+        for gid in sorted(self.groups):
+            metrics = self.groups[gid]
+            out[gid] = {
+                "key": self.group_keys[gid],
+                "metrics": {
+                    path: _rounded(metrics[path].to_dict())
+                    for path in sorted(metrics)
+                },
+            }
+        return out
+
+
+def _rounded(sketch_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Round sketch floats to 12 significant digits.
+
+    Sketch means come from float accumulation whose last bits are an
+    implementation detail; rounding keeps the merged document stable
+    against refactors of the fold loop while preserving every digit a
+    campaign consumer could act on.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in sketch_dict.items():
+        if isinstance(value, float):
+            out[key] = float(f"{value:.12g}")
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,118 @@
+"""Failure classification, retry budgets, and seeded backoff.
+
+Not every failure deserves the same second chance.  A deterministic
+exception will raise again on the same seed, so retrying it burns CPU to
+learn nothing; a timeout or a crashed worker is frequently environmental
+(CPU contention, OOM pressure, a chaos-injected kill) and is worth a
+bounded number of retries; an invariant violation means the *simulation*
+is wrong and must surface, not be papered over; a failed shard write is
+disk pressure that may clear.  The budgets encode exactly that:
+
+======================  =======  =============================================
+failure class           budget   source
+======================  =======  =============================================
+``error``               0        the cell function raised (deterministic)
+``invariant``           0        a watchdog raised :class:`InvariantViolation`
+``timeout``             2        the run exceeded the runner's ``timeout_s``
+``crash``               2        the worker process died under the cell
+``interrupted``         ∞*       SIGINT/SIGTERM — not charged; resume re-runs
+``io``                  3        the shard/journal checkpoint write failed
+======================  =======  =============================================
+
+(*) interruption is not a cell failure at all: the cell simply returns
+to the pending set and the next ``campaign resume`` runs it for free.
+
+Backoff between retries is bounded exponential with *seeded* jitter:
+``delay = min(cap, base * 2^(attempt-1)) * uniform(0.5, 1.5)`` where the
+uniform draw derives from the campaign seed, cell index, and attempt
+number — deterministic across resumes, so a chaos replay schedules the
+same waits every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.runner.executor import FailedResult
+from repro.runner.spec import derive_seed
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "RetryPolicy",
+    "classify_failure",
+]
+
+#: Failure class -> default retry budget (see module docstring).
+DEFAULT_BUDGETS: Dict[str, int] = {
+    "error": 0,
+    "invariant": 0,
+    "timeout": 2,
+    "crash": 2,
+    "io": 3,
+}
+
+#: The seed-ladder modulus used by :func:`derive_seed`.
+_SEED_SPAN = float(2**31 - 1)
+
+
+def classify_failure(failure: FailedResult) -> str:
+    """Map a runner post-mortem onto a campaign failure class."""
+    if failure.phase in ("timeout", "crash", "interrupted"):
+        return failure.phase
+    if "InvariantViolation" in failure.error:
+        return "invariant"
+    return "error"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budgets + backoff parameters for one campaign."""
+
+    budgets: Mapping[str, int] = field(default_factory=lambda: dict(DEFAULT_BUDGETS))
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    #: Seed feeding the jitter derivation (the campaign base seed).
+    seed: int = 1
+
+    @classmethod
+    def for_spec(cls, spec) -> "RetryPolicy":
+        """Policy for a :class:`~repro.campaign.spec.CampaignSpec`."""
+        budgets = dict(DEFAULT_BUDGETS)
+        budgets.update(dict(spec.retry_budgets))
+        return cls(
+            budgets=budgets,
+            backoff_base_s=spec.backoff_base_s,
+            backoff_cap_s=spec.backoff_cap_s,
+            seed=spec.base_seed,
+        )
+
+    # ------------------------------------------------------------------
+    def budget(self, failure_class: str) -> int:
+        return int(self.budgets.get(failure_class, 0))
+
+    def should_retry(self, failure_class: str, attempts: int) -> bool:
+        """May a cell that failed ``attempts`` times try once more?
+
+        ``interrupted`` is always retryable (and never charged): an
+        operator pressing Ctrl-C is not evidence about the cell.
+        """
+        if failure_class == "interrupted":
+            return True
+        return attempts <= self.budget(failure_class)
+
+    def backoff_s(self, cell_index: int, attempt: int) -> float:
+        """Deterministic bounded-exponential backoff before retry N.
+
+        ``attempt`` is 1-based (the attempt that just failed).  The
+        jitter factor is uniform in [0.5, 1.5), derived — not drawn — so
+        the schedule replays identically after a resume.
+        """
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** (attempt - 1)),
+        )
+        unit = derive_seed(self.seed, "backoff", cell_index, attempt) / _SEED_SPAN
+        return base * (0.5 + unit)

@@ -229,10 +229,50 @@ def _trace_main(argv: list[str]) -> int:
                        share_threshold=args.share_threshold)
 
 
+def _looks_like_manifest(path: str) -> bool:
+    """True when the file's first line is a runner-manifest header."""
+    import json
+
+    try:
+        with open(path) as handle:
+            first = handle.readline()
+        record = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(record, dict) and record.get("ev") == "sweep"
+
+
+def _summarize_manifest(path: str) -> None:
+    """Report a run manifest passed to ``trace summarize`` by mistake.
+
+    Manifests are JSONL too, so they end up here often enough; rather
+    than failing cryptically, report the sweep outcome — and warn when
+    the terminal footer is missing, which means the writer died
+    mid-sweep and the manifest is truncated.
+    """
+    from repro.runner.progress import read_manifest
+
+    records, complete = read_manifest(path)
+    runs = [r for r in records if r.get("ev") == "run"]
+    ok = sum(1 for r in runs if r.get("ok"))
+    print(f"# {path}")
+    print(f"  run manifest (not a trace): {len(runs)} run record(s), "
+          f"{ok} ok, {len(runs) - ok} failed")
+    if not complete:
+        log.warning(
+            "%s: no terminal footer — the manifest was truncated "
+            "(writer crashed or was killed mid-sweep); run records "
+            "may be missing from the tail", path,
+        )
+
+
 def _trace_summarize(files: list[str], strict: bool = False) -> int:
     status = 0
     overflowed = False
     for path in files:
+        if _looks_like_manifest(path):
+            _summarize_manifest(path)
+            continue
         try:
             summary = summarize_file(path)
         except (OSError, ValueError) as exc:
@@ -487,6 +527,158 @@ def _validate_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# `campaign` subcommands
+# ----------------------------------------------------------------------
+def _campaign_main(argv: list[str]) -> int:
+    """``repro campaign {run,resume,status,chaos}``.
+
+    Exit codes: 0 clean, 2 usage error, 3 partial (some cells exhausted
+    their retry budget), 4 gate breach (completion below the spec's
+    ``min_complete`` floor, or corrupted campaign state), 130 when
+    interrupted (SIGINT/SIGTERM) — resume with ``campaign resume``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Checkpointed, resumable parameter-grid sweeps with "
+                    "per-cell retry budgets and crash-safe state.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", required=True, metavar="DIR",
+                       help="campaign state directory (journal, shards, "
+                            "merged output)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: $REPRO_JOBS or "
+                            "the CPU count)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not write .repro-cache/")
+        p.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill any single cell exceeding this wall time "
+                            "(counts against its retry budget)")
+        p.add_argument("-v", "--verbose", action="count", default=0)
+        p.add_argument("-q", "--quiet", action="count", default=0)
+
+    run_p = sub.add_parser(
+        "run", help="expand a campaign spec and execute it to completion"
+    )
+    run_p.add_argument("spec", metavar="SPEC",
+                       help="campaign spec JSON file, or 'demo' for the "
+                            "built-in four-scheme demo sweep")
+    _common(run_p)
+
+    resume_p = sub.add_parser(
+        "resume", help="continue an interrupted campaign from its journal"
+    )
+    resume_p.add_argument("--reset-failures", action="store_true",
+                          help="forget exhausted retry budgets and try "
+                               "failed cells again from scratch")
+    _common(resume_p)
+
+    status_p = sub.add_parser(
+        "status", help="read-only per-cell status table for a campaign dir"
+    )
+    status_p.add_argument("--dir", required=True, metavar="DIR")
+    status_p.add_argument("-v", "--verbose", action="count", default=0)
+    status_p.add_argument("-q", "--quiet", action="count", default=0)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="self-inject faults (worker kills, SIGKILL, shard "
+                      "corruption, disk pressure) and assert recovery"
+    )
+    chaos_p.add_argument("--dir", required=True, metavar="DIR",
+                         help="scratch directory for the chaos campaigns")
+    chaos_p.add_argument("--mode", action="append", default=None,
+                         metavar="MODE",
+                         help="chaos mode to run (repeatable; default all)")
+    chaos_p.add_argument("-v", "--verbose", action="count", default=0)
+    chaos_p.add_argument("-q", "--quiet", action="count", default=0)
+
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
+
+    from repro.campaign import (
+        CampaignEngine,
+        CampaignSpec,
+        SpecMismatch,
+        campaign_status,
+        format_status,
+    )
+
+    if args.command == "status":
+        status = campaign_status(args.dir)
+        for warning in status.warnings:
+            log.warning("%s", warning)
+        print(format_status(status.rows, title=f"Campaign {args.dir}"))
+        return status.exit_code
+
+    if args.command == "chaos":
+        from repro.campaign.chaos import ALL_MODES, run_chaos
+
+        modes = tuple(args.mode) if args.mode else ALL_MODES
+        unknown = [m for m in modes if m not in ALL_MODES]
+        if unknown:
+            log.error("unknown chaos mode(s): %s (choose from %s)",
+                      ", ".join(unknown), ", ".join(ALL_MODES))
+            return 2
+        reports = run_chaos(args.dir, modes=modes)
+        for report in reports:
+            print(report.describe())
+        bad = [r for r in reports if not r.ok and not r.skipped]
+        if bad:
+            log.error("%d chaos mode(s) failed recovery", len(bad))
+            return 4
+        return 0
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    engine_kwargs = dict(
+        jobs=jobs,
+        cache=None if args.no_cache else ResultCache(),
+        timeout_s=args.run_timeout,
+    )
+
+    try:
+        if args.command == "run":
+            if args.spec == "demo":
+                from repro.campaign.cells import demo_spec
+
+                spec = demo_spec()
+            else:
+                try:
+                    spec = CampaignSpec.from_json(args.spec)
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    log.error("cannot load campaign spec %s: %s",
+                              args.spec, exc)
+                    return 2
+            engine = CampaignEngine(spec, args.dir, **engine_kwargs)
+            outcome = engine.run(resume=True)
+        else:  # resume
+            try:
+                engine = CampaignEngine.open(args.dir, **engine_kwargs)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                log.error("cannot open campaign dir %s: %s", args.dir, exc)
+                return 2
+            outcome = engine.run(resume=True,
+                                 reset_failures=args.reset_failures)
+    except SpecMismatch as exc:
+        log.error("%s", exc)
+        return 2
+    except KeyboardInterrupt:
+        log.warning("interrupted; resume with: "
+                    "repro campaign resume --dir %s", args.dir)
+        return 130
+
+    print(format_status(outcome.rows, title=f"Campaign {outcome.spec.name}"))
+    if outcome.interrupted:
+        log.warning("interrupted after checkpointing; resume with: "
+                    "repro campaign resume --dir %s", args.dir)
+    elif outcome.merged_path is not None:
+        print(f"merged output: {outcome.merged_path}")
+    return outcome.exit_code
+
+
+# ----------------------------------------------------------------------
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[TelemetryConfig]:
     if (args.trace is None and args.metrics_out is None
             and not args.spans and not args.ledger and not args.streaming):
@@ -554,6 +746,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "validate":
         return _validate_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -561,7 +755,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id, 'all', 'list', 'trace', "
-                             "or 'validate'")
+                             "'validate', or 'campaign'")
     parser.add_argument("--duration", type=float, default=None,
                         help="measurement window in simulated seconds")
     parser.add_argument("--warmup", type=float, default=None,
@@ -668,7 +862,8 @@ def main(argv: list[str] | None = None) -> int:
                     timeout_s=args.run_timeout,
                     auto_serial=True,
                     progress=args.progress,
-                    manifest_path=args.manifest_out)
+                    manifest_path=args.manifest_out,
+                    graceful_signals=True)
 
     broken_tables = 0
     for name in names:
@@ -709,6 +904,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(_run_cost_table(runner.history, mode=runner.execution_mode))
     failures = runner.failures
+    if runner.interrupted:
+        if failures:
+            print()
+            print(_failure_table(failures))
+        log.warning("interrupted; manifest and heartbeats were flushed "
+                    "before exit")
+        return 130
     if failures:
         print()
         print(_failure_table(failures))

@@ -16,6 +16,7 @@ Typical use::
     results = latency.run(runner=runner)   # 4 schemes, fanned out
 """
 
+from repro.runner.atomicio import atomic_write_bytes, atomic_write_text
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.executor import (
     FailedResult,
@@ -31,6 +32,7 @@ from repro.runner.progress import (
     ManifestWriter,
     ProgressAggregator,
     read_heartbeats,
+    read_manifest,
 )
 from repro.runner.spec import RunSpec, canonical, derive_seed, spec_digest
 
@@ -45,11 +47,14 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "Runner",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "canonical",
     "default_cache_dir",
     "default_jobs",
     "derive_seed",
     "execute",
     "read_heartbeats",
+    "read_manifest",
     "spec_digest",
 ]

@@ -1,0 +1,98 @@
+"""Durable file primitives shared by the cache, journal, and shards.
+
+Crash-safety in this repository always reduces to the same three-step
+dance — write to a temp file, ``fsync`` it, ``os.replace`` into place —
+plus a directory fsync so the rename itself survives a power cut.  This
+module is the single implementation of that dance, used by the result
+cache, the campaign write-ahead journal, and shard checkpoints, so the
+chaos harness only has to prove one writer correct.
+
+A process-wide *fault hook* lets the chaos harness simulate disk
+pressure (``ENOSPC``) without touching a real filesystem quota: when
+installed, the hook runs before every durable write and may raise.
+Production code never installs one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "set_fault_hook",
+]
+
+#: Test-only hook raised before durable writes (chaos disk-full mode).
+_fault_hook: Optional[Callable[[str], None]] = None
+
+
+def set_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or clear, with ``None``) the durable-write fault hook.
+
+    The hook receives the destination path and may raise ``OSError`` to
+    simulate a failed write.  Used only by the chaos-recovery harness.
+    """
+    global _fault_hook
+    _fault_hook = hook
+
+
+def fsync_dir(path: Union[str, os.PathLike]) -> None:
+    """fsync a directory so a completed rename survives power loss.
+
+    Best-effort: some filesystems (and platforms) refuse ``open()`` on
+    directories; losing the *directory* sync only risks the entry after
+    an OS crash, never a torn file, so failures are swallowed.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, os.PathLike], data: bytes, durable: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The bytes land in a temp file in the same directory, are fsync'd
+    (when ``durable``), and are renamed over the destination, so readers
+    see either the old content or the new — never a truncated mix.
+    Raises ``OSError`` on failure; the temp file is cleaned up.
+    """
+    target = Path(path)
+    if _fault_hook is not None:
+        _fault_hook(str(target))
+    fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(target.parent)
+
+
+def atomic_write_text(
+    path: Union[str, os.PathLike], text: str, durable: bool = True
+) -> None:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), durable=durable)

@@ -8,9 +8,11 @@ entry without any cleanup pass; the version is *also* stored inside the
 payload and re-checked on load as a belt-and-braces guard against digest
 scheme changes.
 
-Writes are atomic (tempfile + ``os.replace``) so a crashed or parallel
-writer can never leave a truncated entry behind; concurrent writers of
-the same spec produce identical payloads, so last-writer-wins is safe.
+Writes are atomic and durable (tempfile + ``fsync`` + ``os.replace`` +
+directory fsync, via :mod:`repro.runner.atomicio`) so a crashed or
+parallel writer can never leave a truncated entry behind — even across
+``kill -9`` or power loss mid-write; concurrent writers of the same spec
+produce identical payloads, so last-writer-wins is safe.
 
 Integrity: each entry is a small envelope carrying the SHA-256 of the
 pickled payload.  A corrupt or truncated entry (bit rot, a torn write
@@ -26,11 +28,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
 import repro
+from repro.runner.atomicio import atomic_write_bytes
 from repro.runner.spec import RunSpec
 from repro.telemetry.logutil import get_logger
 
@@ -168,14 +170,10 @@ class ResultCache:
         }
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self.path_for(spec))
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_bytes(
+                self.path_for(spec),
+                pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL),
+            )
         except OSError:
             pass
 

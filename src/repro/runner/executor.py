@@ -28,6 +28,8 @@ perf regressions in the simulator hot path surface in every report run.
 from __future__ import annotations
 
 import os
+import signal as signal_module
+import threading
 import traceback as tb_module
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -99,7 +101,10 @@ class FailedResult:
       retried);
     * ``"timeout"`` — the run exceeded the runner's ``timeout_s``;
     * ``"crash"`` — the worker process died under it (segfault, OOM
-      kill, ``os._exit``).
+      kill, ``os._exit``);
+    * ``"interrupted"`` — the *runner* was stopped by SIGINT/SIGTERM
+      (graceful mode) before this run could finish; the run itself is
+      innocent and re-executes for free on the next invocation.
     """
 
     spec: RunSpec
@@ -188,6 +193,24 @@ def _canary() -> int:
     return 42
 
 
+def _pool_worker_init() -> None:
+    """Reset signal dispositions in freshly forked pool workers.
+
+    Forked workers inherit the parent's graceful SIGTERM handler, which
+    raises KeyboardInterrupt — inside a worker that just produces a
+    noisy traceback when the parent terminates it during a drain.
+    Workers should die quietly on SIGTERM (default action) and leave
+    SIGINT handling to the parent (ignore: a terminal Ctrl-C signals
+    the whole foreground process group, and the parent already
+    terminates its workers as part of the graceful drain).
+    """
+    try:
+        signal_module.signal(signal_module.SIGTERM, signal_module.SIG_DFL)
+        signal_module.signal(signal_module.SIGINT, signal_module.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        pass
+
+
 @dataclass
 class Runner:
     """Executes :class:`RunSpec` batches with caching and a process pool.
@@ -225,6 +248,13 @@ class Runner:
     timeout_s: Optional[float] = None
     retries: int = 1
     auto_serial: bool = False
+    #: Graceful SIGINT/SIGTERM: instead of an uncaught KeyboardInterrupt
+    #: tearing through mid-batch, the runner cancels queued work, puts
+    #: down in-flight workers, marks unfinished runs with phase
+    #: ``"interrupted"``, flushes the manifest, and returns — the caller
+    #: checks :attr:`interrupted` and exits 130.  SIGTERM is mapped onto
+    #: the same path so ``kill <pid>`` drains identically to Ctrl-C.
+    graceful_signals: bool = False
     #: Live status line on stderr while specs execute (``--progress``):
     #: workers heartbeat into a spool directory; a parent-side thread
     #: aggregates them.  See :mod:`repro.runner.progress`.
@@ -235,6 +265,8 @@ class Runner:
     requested_jobs: int = field(default=0, init=False)
     #: Set after each map(): True when the last batch used the pool.
     used_pool: bool = field(default=False, init=False)
+    #: True once a graceful SIGINT/SIGTERM stopped a batch early.
+    interrupted: bool = field(default=False, init=False)
     #: Every RunResult produced by this runner, across all map() calls —
     #: the raw material for run-cost reporting.
     history: List[RunResult] = field(default_factory=list, init=False)
@@ -311,9 +343,11 @@ class Runner:
             pending.append((index, spec))
 
         session = self._progress_start(len(specs), len(specs) - len(pending))
+        restore_term = self._install_sigterm_handler()
         try:
             outcomes = self._execute_batch([spec for _, spec in pending])
         finally:
+            restore_term()
             self._progress_stop(session)
         for (index, spec), outcome in zip(pending, outcomes):
             if isinstance(outcome, FailedResult):
@@ -427,6 +461,38 @@ class Runner:
             writer.close()
 
     # ------------------------------------------------------------------
+    # Graceful interruption (SIGINT / SIGTERM)
+    # ------------------------------------------------------------------
+    def _install_sigterm_handler(self):
+        """Map SIGTERM onto KeyboardInterrupt for the current batch.
+
+        SIGINT already raises KeyboardInterrupt; routing SIGTERM through
+        the same exception gives ``kill <pid>`` the same graceful drain.
+        Returns a restore callable; a no-op off the main thread or when
+        graceful mode is off.
+        """
+        if (not self.graceful_signals
+                or threading.current_thread() is not threading.main_thread()):
+            return lambda: None
+
+        def _on_term(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            previous = signal_module.signal(signal_module.SIGTERM, _on_term)
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            return lambda: None
+        return lambda: signal_module.signal(signal_module.SIGTERM, previous)
+
+    def _interrupted_result(self, spec: RunSpec) -> FailedResult:
+        return FailedResult(
+            spec=spec,
+            phase="interrupted",
+            error="runner stopped by SIGINT/SIGTERM before this run "
+                  "finished",
+        )
+
+    # ------------------------------------------------------------------
     def _execute_batch(self, specs: Sequence[RunSpec]) -> List[_Outcome]:
         if not specs:
             return []
@@ -438,7 +504,21 @@ class Runner:
                 # Pools need working fork/spawn + shared semaphores; fall
                 # back to in-process execution rather than failing the run.
                 self.used_pool = False
-        return [self._execute_one_inprocess(spec) for spec in specs]
+        outcomes: List[_Outcome] = []
+        for index, spec in enumerate(specs):
+            try:
+                outcomes.append(self._execute_one_inprocess(spec))
+            except KeyboardInterrupt:
+                if not self.graceful_signals:
+                    raise
+                log.warning("interrupted; draining %d unfinished run(s)",
+                            len(specs) - index)
+                self.interrupted = True
+                outcomes.extend(
+                    self._interrupted_result(s) for s in specs[index:]
+                )
+                break
+        return outcomes
 
     def _execute_one_inprocess(self, spec: RunSpec) -> _Outcome:
         try:
@@ -469,9 +549,20 @@ class Runner:
         attempts = [0] * len(specs)
         items = list(range(len(specs)))
         first_pass = True
-        while items:
-            items = self._pool_pass(specs, items, outcomes, attempts, first_pass)
-            first_pass = False
+        try:
+            while items:
+                items = self._pool_pass(specs, items, outcomes, attempts,
+                                        first_pass)
+                first_pass = False
+        except KeyboardInterrupt:
+            if not self.graceful_signals:
+                raise
+            self.interrupted = True
+            unfinished = [i for i in range(len(specs)) if i not in outcomes]
+            log.warning("interrupted; draining %d unfinished run(s)",
+                        len(unfinished))
+            for i in unfinished:
+                outcomes[i] = self._interrupted_result(specs[i])
         self.used_pool = True
         return [outcomes[i] for i in range(len(specs))]
 
@@ -485,7 +576,8 @@ class Runner:
     ) -> List[int]:
         """One pool generation; returns the indices to run again."""
         workers = min(self.jobs, len(items))
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_pool_worker_init)
         try:
             # Submission order == collection order: determinism does not
             # depend on which worker finishes first.
@@ -497,6 +589,33 @@ class Runner:
             pool.shutdown(wait=False)
             raise
 
+        try:
+            return self._collect_pass(
+                pool, specs, items, futures, outcomes, attempts, first_pass
+            )
+        except KeyboardInterrupt:
+            # Graceful drain: cancel everything queued, put down the
+            # in-flight workers, and let _execute_pool mark unfinished
+            # runs as interrupted.  (Re-raised regardless; the caller
+            # decides whether graceful mode applies.)
+            workers_alive = list(
+                (getattr(pool, "_processes", None) or {}).values()
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in workers_alive:
+                proc.terminate()
+            raise
+
+    def _collect_pass(
+        self,
+        pool: "ProcessPoolExecutor",
+        specs: Sequence[RunSpec],
+        items: List[int],
+        futures: dict,
+        outcomes: dict,
+        attempts: List[int],
+        first_pass: bool,
+    ) -> List[int]:
         resubmit: List[int] = []
         #: Futures that round-tripped through a worker (a returned value
         #: or a pickled exception both prove the pool machinery works).

@@ -21,7 +21,9 @@ This module adds the three observability surfaces around that gap:
   (``--manifest-out``): one header record for the sweep, then one record
   per :class:`~repro.runner.spec.RunSpec` with its outcome and cost
   accounting, written in spec order so the file is deterministic up to
-  wall-clock fields.
+  wall-clock fields, and closed with a terminal ``end`` footer — its
+  absence is how :func:`read_manifest` distinguishes a truncated
+  manifest (crashed writer) from a complete one.
 
 The spool directory travels to workers via the ``REPRO_PROGRESS_DIR``
 environment variable — pool workers inherit the parent's environment,
@@ -38,7 +40,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "Heartbeat",
@@ -47,6 +49,7 @@ __all__ = [
     "PROGRESS_ENV",
     "ProgressAggregator",
     "read_heartbeats",
+    "read_manifest",
     "rss_bytes",
 ]
 
@@ -340,16 +343,25 @@ class ManifestWriter:
     one ``run`` record per spec, in spec order, each carrying the
     outcome (``ok``/``cached``/failure phase) and the run's cost
     accounting — the same numbers the ``--profile`` table prints,
-    parseable by CI jobs and dashboards.
+    parseable by CI jobs and dashboards.  The final line is an ``end``
+    footer with outcome counts: a manifest without one was cut short
+    (crashed or killed writer) and its tail cannot be trusted to be
+    complete — ``campaign status`` and ``trace summarize`` warn on it.
     """
 
     def __init__(self, path: str) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = None
+        self._runs = 0
+        self._ok = 0
+        self._interrupted = 0
 
     def open(self, specs: int, mode: str, jobs: int) -> "ManifestWriter":
         self._handle = open(self.path, "a")
+        self._runs = 0
+        self._ok = 0
+        self._interrupted = 0
         self._record({
             "ev": "sweep", "specs": specs, "mode": mode, "jobs": jobs,
             "unix_time": time.time(),
@@ -373,10 +385,27 @@ class ManifestWriter:
         if result.error is not None:
             record["phase"] = result.error.phase
             record["error"] = result.error.error
+            if result.error.phase == "interrupted":
+                self._interrupted += 1
+        self._runs += 1
+        if result.ok:
+            self._ok += 1
         self._record(record)
 
     def close(self) -> None:
+        """Write the terminal footer and close the file.
+
+        The footer is the completeness marker: replaying a manifest that
+        lacks one means the writer died mid-sweep and run records may be
+        missing from the tail.
+        """
         if self._handle is not None:
+            self._record({
+                "ev": "end", "runs": self._runs, "ok": self._ok,
+                "failed": self._runs - self._ok,
+                "interrupted": self._interrupted,
+                "unix_time": time.time(),
+            })
             self._handle.close()
             self._handle = None
 
@@ -385,3 +414,33 @@ class ManifestWriter:
             raise RuntimeError("manifest not open")
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
+
+
+def read_manifest(path: str) -> Tuple[List[Dict[str, Any]], bool]:
+    """Parse a JSONL manifest: ``(records, complete)``.
+
+    ``complete`` is True when every ``sweep`` header is matched by an
+    ``end`` footer — i.e. no writer died mid-sweep.  Unparseable lines
+    (a torn tail) are dropped and count as incompleteness.
+    """
+    records: List[Dict[str, Any]] = []
+    complete = True
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records, False
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            complete = False  # torn tail
+            break
+        if isinstance(record, dict):
+            records.append(record)
+    sweeps = sum(1 for r in records if r.get("ev") == "sweep")
+    ends = sum(1 for r in records if r.get("ev") == "end")
+    if sweeps == 0 or ends < sweeps:
+        complete = False
+    return records, complete

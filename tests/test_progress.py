@@ -255,7 +255,7 @@ class TestManifestWriter:
         ))
         manifest.close()
 
-        header, ok, bad = [
+        header, ok, bad, footer = [
             json.loads(line) for line in path.read_text().splitlines()
         ]
         assert header["ev"] == "sweep"
@@ -266,14 +266,17 @@ class TestManifestWriter:
         assert ok["finalize_s"] == 0.5
         assert bad["ok"] is False
         assert bad["phase"] == "timeout" and "exceeded" in bad["error"]
+        assert footer["ev"] == "end"
+        assert (footer["runs"], footer["ok"], footer["failed"]) == (2, 1, 1)
 
     def test_append_mode_stacks_sweeps(self, tmp_path):
         path = tmp_path / "manifest.jsonl"
         for _ in range(2):
             ManifestWriter(str(path)).open(specs=0, mode="serial",
                                            jobs=1).close()
-        headers = [json.loads(line) for line in path.read_text().splitlines()]
-        assert [h["ev"] for h in headers] == ["sweep", "sweep"]
+        events = [json.loads(line)["ev"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["sweep", "end", "sweep", "end"]
 
 
 # ----------------------------------------------------------------------

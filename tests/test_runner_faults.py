@@ -11,7 +11,6 @@ import os
 import pickle
 import time
 
-import pytest
 
 from repro.runner import FailedResult, ResultCache, RunSpec, Runner
 from repro.runner import executor as executor_mod
@@ -213,6 +212,27 @@ class TestCacheQuarantine:
         hit, payload = cache.get(spec)
         assert hit and payload["value"] == {"nested": [1, 2, 3]}
         assert cache.quarantined == 0
+
+    def test_truncated_envelope_quarantined_and_run_reexecutes(
+        self, tmp_path
+    ):
+        """A torn write (e.g. pre-atomic crash) is quarantined and the
+        next run transparently re-executes + rewrites the entry."""
+        cache = ResultCache(tmp_path)
+        spec = _spec("quick", value=21)
+        runner = Runner(jobs=1, cache=cache)
+        assert runner.run_values([spec]) == [42]
+        path = cache.path_for(spec)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # truncate mid-envelope
+
+        rerun = Runner(jobs=1, cache=cache)
+        assert rerun.run_values([spec]) == [42]  # miss -> re-executed
+        assert cache.quarantined == 1
+        assert path.with_suffix(path.suffix + ".corrupt").exists()
+        # The entry was rewritten durably and now hits again.
+        hit, payload = cache.get(spec)
+        assert hit and payload["value"] == 42
 
     def test_clear_removes_quarantined_entries_too(self, tmp_path):
         cache = ResultCache(tmp_path)
