@@ -290,6 +290,55 @@ def bench_streaming_stats(duration_s: float = 2.0) -> dict:
     }
 
 
+def bench_campaign_reduce(n_cells: int = 4000, n_groups: int = 40) -> dict:
+    """Campaign reduction throughput: synthetic shard payloads folded
+    through the streaming reducer, finalised with the full CI section
+    (t-intervals plus P50/P95/P99 rank intervals per metric) — the cost
+    ``merged.json`` pays per committed cell, with and without CIs."""
+    import random as _random
+
+    from repro.campaign.reducer import CampaignReducer
+
+    rng = _random.Random(7)
+    payloads = []
+    for i in range(n_cells):
+        group = i % n_groups
+        payloads.append({
+            "key": {"scheme": f"s{group % 5}", "stations": group // 5},
+            "value": {
+                "total_mbps": 20.0 + rng.gauss(0.0, 1.0),
+                "jain_airtime": min(1.0, 0.9 + rng.random() / 10.0),
+                "latency": {"p50_us": 4000.0 + rng.gauss(0.0, 300.0),
+                            "p99_us": 20000.0 + rng.gauss(0.0, 2000.0)},
+                "per_station_mbps": [rng.random() * 8.0 for _ in range(3)],
+            },
+        })
+
+    def reduce_all(confidence: float) -> float:
+        start = time.perf_counter()
+        reducer = CampaignReducer(confidence=confidence)
+        for payload in payloads:
+            reducer.fold(payload)
+        doc = reducer.to_dict()
+        wall = time.perf_counter() - start
+        if len(doc) != n_groups:
+            raise RuntimeError(f"reduced {len(doc)} != {n_groups} groups")
+        if confidence and "ci" not in next(iter(doc.values())):
+            raise RuntimeError("CI section missing from reduced group")
+        return wall
+
+    ci_wall = reduce_all(0.95)
+    plain_wall = reduce_all(0.0)
+    return {
+        "n_cells": n_cells,
+        "n_groups": n_groups,
+        "metrics_per_cell": 7,
+        "cells_per_sec": round(n_cells / ci_wall),
+        "cells_per_sec_no_ci": round(n_cells / plain_wall),
+        "ci_overhead_pct": round((ci_wall / plain_wall - 1.0) * 100.0, 1),
+    }
+
+
 def bench_report(scale: float, jobs: int) -> dict:
     """Scaled-down report wall time, serial vs parallel (no cache)."""
     start = time.perf_counter()
@@ -363,6 +412,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({streaming['overhead_pct']}% overhead); peak heap x"
           f"{streaming['heap_growth_10x']} over a 10x longer run; "
           f"sketch {streaming['sketch_observe_per_sec']:,} samples/sec")
+    print("campaign: shard reduction with CI sections ...", flush=True)
+    campaign_reduce = bench_campaign_reduce()
+    print(f"  {campaign_reduce['cells_per_sec']:,} cells/sec with CIs "
+          f"({campaign_reduce['cells_per_sec_no_ci']:,} without, "
+          f"+{campaign_reduce['ci_overhead_pct']}% for intervals)")
 
     report: dict | None = None
     if not args.skip_report:
@@ -389,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         "single_run": single,
         "telemetry_overhead": overhead,
         "streaming_stats": streaming,
+        "campaign_reduce": campaign_reduce,
         "report": report,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

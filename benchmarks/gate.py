@@ -59,6 +59,7 @@ PERF_METRICS: Tuple[Tuple[str, str], ...] = (
     ("single_run", "events_per_sec"),
     ("telemetry_overhead", "traced_spans_ledger_events_per_sec"),
     ("streaming_stats", "streaming_events_per_sec"),
+    ("campaign_reduce", "cells_per_sec"),
 )
 
 

@@ -28,14 +28,15 @@ contract is the repository-wide one: 0 clean, 3 partial, 4 gate breach
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 import repro
 from repro.campaign.journal import Journal, read_journal
-from repro.campaign.reducer import CampaignReducer
+from repro.campaign.reducer import CampaignReducer, _group_id, flatten_metrics
 from repro.campaign.retry import RetryPolicy, classify_failure
 from repro.campaign.shards import scan_shards, shard_path, write_shard
 from repro.campaign.spec import CampaignSpec, CellSpec
@@ -80,7 +81,7 @@ class CellStatus:
     key: Dict[str, Any]
     rep: int
     seed: int
-    state: str = "pending"  # pending|committed|failed|interrupted
+    state: str = "pending"  # pending|committed|failed|interrupted|stopped
     attempts: int = 0
     failure_class: str = ""
     error: str = ""
@@ -119,6 +120,11 @@ class CampaignOutcome:
     def failed(self) -> int:
         return sum(1 for r in self.rows if r.state == "failed")
 
+    @property
+    def stopped(self) -> int:
+        """Cells retired early by the sequential stopping rule."""
+        return sum(1 for r in self.rows if r.state == "stopped")
+
 
 @dataclass
 class CampaignStatus:
@@ -136,8 +142,9 @@ class CampaignStatus:
     def exit_code(self) -> int:
         if self.spec is None or self.journal_truncated or self.corrupt_shards:
             return 4
-        committed = sum(1 for r in self.rows if r.state == "committed")
-        if self.has_footer and committed == len(self.rows):
+        done = sum(1 for r in self.rows
+                   if r.state in ("committed", "stopped"))
+        if self.has_footer and done == len(self.rows):
             return 0
         return 3
 
@@ -165,6 +172,10 @@ class CampaignEngine:
         self.sleep = sleep
         self.checkpoint_wave = checkpoint_wave
         self.policy = RetryPolicy.for_spec(spec)
+        #: Precision-mode hook: set while the sequential-stopping
+        #: scheduler runs so every committed value is folded into the
+        #: per-group CI trackers the moment its shard lands.
+        self._on_commit: Optional[Callable[[int, Any], None]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -310,18 +321,23 @@ class CampaignEngine:
                     if row.state == "failed":
                         row.state = "pending"
 
-            pending = [by_index[i] for i in sorted(rows)
-                       if rows[i].state == "pending"]
-            rounds = 0
-            while pending and not interrupted and rounds < MAX_ROUNDS:
-                rounds += 1
-                pending, interrupted = self._run_round(
-                    journal, runner, pending, rows
+            if self.spec.precision > 0.0:
+                interrupted = self._run_precision(
+                    journal, runner, cells, rows, records
                 )
-            if rounds >= MAX_ROUNDS and pending:  # pragma: no cover
-                for cell in pending:
-                    rows[cell.index].state = "failed"
-                    rows[cell.index].failure_class = "rounds"
+            else:
+                pending = [by_index[i] for i in sorted(rows)
+                           if rows[i].state == "pending"]
+                rounds = 0
+                while pending and not interrupted and rounds < MAX_ROUNDS:
+                    rounds += 1
+                    pending, interrupted = self._run_round(
+                        journal, runner, pending, rows
+                    )
+                if rounds >= MAX_ROUNDS and pending:  # pragma: no cover
+                    for cell in pending:
+                        rows[cell.index].state = "failed"
+                        rows[cell.index].failure_class = "rounds"
 
             row_list = [rows[i] for i in sorted(rows)]
             if interrupted:
@@ -343,6 +359,146 @@ class CampaignEngine:
             exit_code=self._exit_code(row_list),
             merged_path=merged_path,
         )
+
+    # ------------------------------------------------------------------
+    def _run_precision(
+        self,
+        journal: Journal,
+        runner: Runner,
+        cells: List[CellSpec],
+        rows: Dict[int, CellStatus],
+        records: List[Dict[str, Any]],
+    ) -> bool:
+        """Replication-round scheduling with sequential stopping.
+
+        Instead of fanning out the whole grid × replication matrix at
+        once, precision mode runs one *replication round* at a time —
+        replication ``r`` across every still-active grid point — and
+        re-evaluates each grid point's confidence intervals at every
+        round boundary.  A grid point whose targeted metrics are all
+        within the spec's relative half-width target stops replicating;
+        its remaining cells are marked ``stopped`` and a ``stop`` record
+        is fsync'd to the journal.  ``spec.replications`` is the hard
+        cap; ``spec.min_reps`` is the floor below which no decision is
+        taken.
+
+        Stop decisions are a pure function of the committed shard set
+        (the trackers re-fold from shards on resume, in the same
+        rep-ascending order the live path commits in), so a resumed
+        campaign reaches exactly the decisions an uninterrupted one
+        does and the merged output stays byte-identical.  The journal
+        records are an audit trail — recovery never replays them.
+        """
+        from repro.campaign.stats import evaluate_group
+        from repro.telemetry.streaming import QuantileSketch
+
+        spec = self.spec
+        groups: Dict[str, List[CellSpec]] = {}
+        order: List[str] = []
+        for cell in cells:
+            gid = _group_id(cell.key_dict)
+            if gid not in groups:
+                groups[gid] = []
+                order.append(gid)
+            groups[gid].append(cell)
+        gid_of = {c.index: gid for gid, cs in groups.items() for c in cs}
+        trackers: Dict[str, Dict[str, QuantileSketch]] = {
+            gid: {} for gid in order
+        }
+
+        def fold(cell_index: int, value: Any) -> None:
+            metrics = trackers[gid_of[cell_index]]
+            for path, number in flatten_metrics(value):
+                sketch = metrics.get(path)
+                if sketch is None:
+                    sketch = metrics[path] = QuantileSketch()
+                sketch.observe(number)
+
+        # Resume: re-fold committed shards (index order == rep order
+        # within a group) so the trackers match the live fold exactly.
+        for cell_idx, _path, payload in scan_shards(self.dir / SHARD_DIR):
+            if cell_idx in gid_of and rows[cell_idx].state == "committed":
+                fold(cell_idx, payload.get("value"))
+
+        # Groups already stop-journaled by a previous invocation: the
+        # decision is recomputed identically below, but the journal
+        # record is not duplicated.
+        prior_stops: Set[str] = {
+            str(rec.get("group")) for rec in records
+            if rec.get("ev") == "stop"
+        }
+
+        stopped: Set[str] = set()
+        self._on_commit = fold
+        try:
+            for rep in range(spec.replications):
+                for gid in order:
+                    if gid in stopped:
+                        continue
+                    reps_done = sum(
+                        1 for c in groups[gid]
+                        if rows[c.index].state == "committed"
+                    )
+                    if reps_done < spec.min_reps:
+                        continue
+                    decision = evaluate_group(
+                        trackers[gid], spec.precision, spec.confidence,
+                        spec.precision_metrics,
+                    )
+                    worst_hw = (
+                        round(decision.worst_rel_half_width, 9)
+                        if math.isfinite(decision.worst_rel_half_width)
+                        else None
+                    )
+                    journal.append({
+                        "ev": "ci", "group": gid, "reps": reps_done,
+                        "met": decision.met,
+                        "worst_metric": decision.worst_metric,
+                        "worst_rel_hw": worst_hw,
+                    })
+                    if not decision.met:
+                        continue
+                    stopped.add(gid)
+                    stop_cells = [
+                        c.index for c in groups[gid]
+                        if rows[c.index].state == "pending"
+                    ]
+                    for idx in stop_cells:
+                        rows[idx].state = "stopped"
+                    if gid not in prior_stops:
+                        journal.commit({
+                            "ev": "stop", "group": gid,
+                            "cells": stop_cells, "reps": reps_done,
+                            "worst_metric": decision.worst_metric,
+                            "worst_rel_hw": worst_hw,
+                        })
+                    log.info(
+                        "group %s met precision %.3g after %d rep(s) "
+                        "(worst %s rel hw %.3g); stopping %d cell(s)",
+                        gid, spec.precision, reps_done,
+                        decision.worst_metric,
+                        decision.worst_rel_half_width, len(stop_cells),
+                    )
+                wave = [
+                    groups[gid][rep] for gid in order
+                    if gid not in stopped
+                    and rows[groups[gid][rep].index].state == "pending"
+                ]
+                pending, rounds = wave, 0
+                while pending and rounds < MAX_ROUNDS:
+                    rounds += 1
+                    pending, interrupted = self._run_round(
+                        journal, runner, pending, rows
+                    )
+                    if interrupted:
+                        return True
+                if rounds >= MAX_ROUNDS and pending:  # pragma: no cover
+                    for cell in pending:
+                        rows[cell.index].state = "failed"
+                        rows[cell.index].failure_class = "rounds"
+        finally:
+            self._on_commit = None
+        return False
 
     # ------------------------------------------------------------------
     def _run_round(
@@ -450,6 +606,8 @@ class CampaignEngine:
             return False
         row.state = "committed"
         row.sha256 = sha
+        if self._on_commit is not None:
+            self._on_commit(cell.index, value)
         return True
 
     # ------------------------------------------------------------------
@@ -458,8 +616,9 @@ class CampaignEngine:
         """Merge shards, write status, and close the journal with a footer."""
         committed = sum(1 for r in rows if r.state == "committed")
         failed = sum(1 for r in rows if r.state == "failed")
+        stopped = [r.index for r in rows if r.state == "stopped"]
 
-        reducer = CampaignReducer()
+        reducer = CampaignReducer(confidence=self.spec.confidence)
         cell_index: List[Dict[str, Any]] = []
         for cell, _path, payload in scan_shards(self.dir / SHARD_DIR):
             reducer.fold(payload)
@@ -476,11 +635,22 @@ class CampaignEngine:
             "version": repro.__version__,
             "total_cells": len(rows),
             "committed": committed,
+            # Stopped cells are a deliberate outcome, not a gap: they
+            # are listed separately so consumers can tell "precise
+            # enough to skip" from "never ran".
+            "stopped_cells": stopped,
             "missing_cells": [r.index for r in rows
-                              if r.state != "committed"],
+                              if r.state not in ("committed", "stopped")],
             "cells": cell_index,
             "groups": reducer.to_dict(),
         }
+        if self.spec.precision > 0.0:
+            merged["precision"] = {
+                "target": self.spec.precision,
+                "confidence": self.spec.confidence,
+                "min_reps": self.spec.min_reps,
+                "metrics": list(self.spec.precision_metrics),
+            }
         merged_path = self.dir / MERGED_FILE
         atomic_write_text(
             merged_path,
@@ -497,15 +667,17 @@ class CampaignEngine:
         )
         journal.commit({
             "ev": "end", "committed": committed, "failed": failed,
-            "total": len(rows),
+            "stopped": len(stopped), "total": len(rows),
         })
         return merged_path
 
     def _exit_code(self, rows: List[CellStatus]) -> int:
-        committed = sum(1 for r in rows if r.state == "committed")
-        if committed == len(rows):
+        # A stopped cell is *complete*: the stopping rule proved the
+        # grid point precise enough without it.
+        done = sum(1 for r in rows if r.state in ("committed", "stopped"))
+        if done == len(rows):
             return 0
-        fraction = committed / len(rows) if rows else 1.0
+        fraction = done / len(rows) if rows else 1.0
         if fraction < self.spec.min_complete:
             return 4
         return 3
@@ -548,11 +720,20 @@ def campaign_status(directory: Union[str, Path]) -> CampaignStatus:
             "resume with `campaign resume` or treat results as partial"
         )
     for rec in records:
+        ev = rec.get("ev")
+        if ev == "stop":
+            # Sequential-stopping decision: the listed cells were
+            # deliberately never run.  Committed state still wins (a
+            # stop record can race a commit only in a hand-edited
+            # journal, but be conservative).
+            for idx in rec.get("cells") or []:
+                if idx in rows and rows[idx].state == "pending":
+                    rows[idx].state = "stopped"
+            continue
         cell = rec.get("cell")
         if cell not in rows:
             continue
         row = rows[cell]
-        ev = rec.get("ev")
         if ev == "attempt":
             row.attempts = max(row.attempts, int(rec.get("attempt", 0)))
             row.failure_class = str(rec.get("class", ""))

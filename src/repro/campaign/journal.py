@@ -15,6 +15,14 @@ Record vocabulary (the ``ev`` field):
 * ``attempt``  — one failed attempt at a cell (class, error, attempt #).
 * ``commit``   — a cell's result is durably checkpointed in a shard.
 * ``gave_up``  — a cell exhausted its retry budget.
+* ``ci``       — precision mode: one grid point's interval evaluation
+  at a replication-round boundary (reps folded, worst metric, worst
+  relative half-width, whether the target is met).  Audit only: resume
+  recomputes decisions from the shards, never from these.
+* ``stop``     — precision mode: a grid point met its precision target
+  and its remaining cells were retired (fsync'd — a stop is a promise
+  that work was deliberately skipped, and ``campaign status`` must be
+  able to tell that from loss).
 * ``end``      — terminal footer: the campaign finished (clean or
   partial).  Its *absence* is how ``campaign status`` distinguishes an
   interrupted sweep from a complete one.

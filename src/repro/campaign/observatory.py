@@ -1,0 +1,623 @@
+"""The campaign observatory: dashboards and cross-run surveillance.
+
+Two consumers sit on top of a finished (or half-finished) campaign
+directory:
+
+* ``campaign report`` — a terminal dashboard plus a single-file HTML
+  rendering: per-metric cell grids showing point estimate ± CI (from
+  the merged document's ``ci`` sections), heat shading across grid
+  points, per-group sequential-stopping status
+  (stopped / met-at-cap / budget-exhausted / undecided), and sparkline
+  trajectories of each metric down the replication ladder (re-read
+  from the shards, which are ordered by construction).
+* ``campaign compare A B`` — cross-run regression surveillance: diff
+  two merged documents grid-point-by-grid-point with CI-overlap-aware
+  verdicts.  Overlapping intervals are *indistinguishable*; disjoint
+  intervals are judged by the metric's direction (``improved`` /
+  ``regressed``), and metrics with no known direction — airtime
+  shares, aggregation sizes — count as ``shifted`` drift.  Regressions
+  and drift exit 4, exactly like ``benchmarks/gate.py`` gates perf, so
+  CI can hold fairness and latency to the same standard as speed.
+
+Everything here is read-only: the observatory never mutates a campaign
+directory.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.reducer import _group_id, flatten_metrics
+from repro.campaign.shards import iter_shard_values
+
+__all__ = [
+    "CampaignView",
+    "CompareResult",
+    "CompareRow",
+    "load_campaign",
+    "metric_direction",
+    "group_states",
+    "render_report",
+    "render_html",
+    "compare_merged",
+    "format_compare",
+]
+
+#: Direction heuristics for compare verdicts: substrings of a metric
+#: path that mark it higher-is-better or lower-is-better.  Unmatched
+#: metrics have no direction: a significant move in either way is drift.
+_HIGHER_BETTER = ("mbps", "throughput", "goodput", "jain", "fairness")
+_LOWER_BETTER = ("latency", "rtt", "sojourn", "delay", "drop",
+                 "loss", "backlog", "stall")
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """``"higher"``/``"lower"`` when improvement direction is known."""
+    lowered = path.lower()
+    if any(tag in lowered for tag in _HIGHER_BETTER):
+        return "higher"
+    if any(tag in lowered for tag in _LOWER_BETTER):
+        return "lower"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignView:
+    """Everything the dashboards need, loaded read-only."""
+
+    directory: Optional[Path]
+    merged: Dict[str, Any]
+    #: status.json document, when the directory holds one.
+    status: Optional[Dict[str, Any]] = None
+    #: gid -> metric path -> per-replication values, ladder order.
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    @property
+    def groups(self) -> Dict[str, Any]:
+        return self.merged.get("groups") or {}
+
+    @property
+    def precision(self) -> Optional[Dict[str, Any]]:
+        return self.merged.get("precision")
+
+
+def _load_merged(path: Path) -> Dict[str, Any]:
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "groups" not in doc:
+        raise ValueError(f"{path}: not a merged campaign document")
+    return doc
+
+
+def load_campaign(directory: Union[str, Path]) -> CampaignView:
+    """Load a campaign directory (or a bare merged.json) for rendering."""
+    directory = Path(directory)
+    if directory.is_file():
+        # A merged.json on its own: no shards, no status — the report
+        # degrades to what the merged document carries.
+        return CampaignView(directory=None, merged=_load_merged(directory))
+    merged_path = directory / "merged.json"
+    if not merged_path.is_file():
+        raise FileNotFoundError(
+            f"{directory} has no merged.json — run or resume the "
+            f"campaign first (status works on unfinished directories)"
+        )
+    view = CampaignView(directory=directory, merged=_load_merged(merged_path))
+    status_path = directory / "status.json"
+    if status_path.is_file():
+        try:
+            view.status = json.loads(status_path.read_text())
+        except ValueError:
+            view.status = None
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for key, _rep, value in iter_shard_values(directory / "shards"):
+        per_metric = series.setdefault(_group_id(key), {})
+        for path, number in flatten_metrics(value):
+            per_metric.setdefault(path, []).append(number)
+    view.series = series
+    return view
+
+
+# ----------------------------------------------------------------------
+# Group status
+# ----------------------------------------------------------------------
+def group_states(view: CampaignView) -> Dict[str, str]:
+    """Sequential-stopping status per grid point.
+
+    * ``stopped`` — the stopping rule retired the group early.
+    * ``met-at-cap`` — ran every replication; the precision target is
+      met anyway.
+    * ``budget-exhausted`` — ran every replication and still missed the
+      target.
+    * ``undecided`` — cells are missing or failed (partial campaign).
+    * ``""`` — the campaign ran without a precision target.
+    """
+    precision = view.precision
+    states: Dict[str, str] = {}
+    cells = (view.status or {}).get("cells") or []
+    by_gid: Dict[str, List[Dict[str, Any]]] = {}
+    for cell in cells:
+        by_gid.setdefault(_group_id(cell.get("key") or {}), []).append(cell)
+    for gid, group in view.groups.items():
+        if precision is None:
+            states[gid] = ""
+            continue
+        rows = by_gid.get(gid, [])
+        cell_states = {str(c.get("state")) for c in rows}
+        if "stopped" in cell_states:
+            states[gid] = "stopped"
+            continue
+        if rows and cell_states - {"committed"}:
+            states[gid] = "undecided"
+            continue
+        states[gid] = (
+            "met-at-cap" if _group_meets_target(group, precision)
+            else "budget-exhausted"
+        )
+    return states
+
+
+def _group_meets_target(group: Dict[str, Any],
+                        precision: Dict[str, Any]) -> bool:
+    """Re-check a group's merged ``ci`` section against the target."""
+    from repro.campaign.stats import metric_matches
+
+    target = float(precision.get("target") or 0.0)
+    targets = precision.get("metrics") or ()
+    checked = False
+    for path, entry in (group.get("ci") or {}).items():
+        if not metric_matches(path, targets):
+            continue
+        mean = entry.get("mean")
+        hw = entry.get("half_width")
+        if mean is None or hw is None:
+            return False
+        checked = True
+        if hw == 0.0:
+            continue
+        if abs(mean) < 1e-12 or hw / abs(mean) > target:
+            return False
+    return checked
+
+
+# ----------------------------------------------------------------------
+# Metric selection and shared formatting
+# ----------------------------------------------------------------------
+def headline_metrics(view: CampaignView,
+                     metrics: Sequence[str] = (),
+                     limit: int = 8) -> List[str]:
+    """Which metric paths the dashboards lead with.
+
+    Explicit ``metrics`` win (prefix-matched); otherwise the precision
+    targets; otherwise every top-level scalar metric (no dotted
+    per-station fan-out), capped at ``limit``.
+    """
+    from repro.campaign.stats import metric_matches
+
+    all_paths: List[str] = []
+    for group in view.groups.values():
+        for path in group.get("metrics") or {}:
+            if path not in all_paths:
+                all_paths.append(path)
+    all_paths.sort()
+    if metrics:
+        return [p for p in all_paths if metric_matches(p, metrics)]
+    precision = view.precision
+    if precision and precision.get("metrics"):
+        chosen = [p for p in all_paths
+                  if metric_matches(p, precision["metrics"])]
+        if chosen:
+            return chosen[:limit]
+    scalars = [p for p in all_paths if "." not in p and "[" not in p]
+    return (scalars or all_paths)[:limit]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _ci_entry(group: Dict[str, Any], path: str) -> Dict[str, Any]:
+    return (group.get("ci") or {}).get(path) or {}
+
+
+def _metric_mean(group: Dict[str, Any], path: str) -> Optional[float]:
+    entry = (group.get("metrics") or {}).get(path) or {}
+    mean = entry.get("mean")
+    return float(mean) if isinstance(mean, (int, float)) else None
+
+
+def _heat_char(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return _SPARK_BLOCKS[-1]
+    frac = (value - lo) / (hi - lo)
+    index = min(int(frac * len(_SPARK_BLOCKS)), len(_SPARK_BLOCKS) - 1)
+    return _SPARK_BLOCKS[index]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode block sparkline of a metric's replication trajectory."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    return "".join(_heat_char(v, lo, hi) for v in values)
+
+
+def _group_label(group: Dict[str, Any]) -> str:
+    key = group.get("key") or {}
+    return ",".join(f"{k}={key[k]}" for k in sorted(key)) or "(all)"
+
+
+# ----------------------------------------------------------------------
+# Terminal report
+# ----------------------------------------------------------------------
+def render_report(view: CampaignView,
+                  metrics: Sequence[str] = ()) -> str:
+    """Terminal dashboard: per-metric grids with CI, status, trends."""
+    merged = view.merged
+    lines: List[str] = []
+    lines.append(f"# campaign {merged.get('campaign', '?')} — observatory")
+    total = merged.get("total_cells", 0)
+    committed = merged.get("committed", 0)
+    stopped = len(merged.get("stopped_cells") or [])
+    missing = len(merged.get("missing_cells") or [])
+    summary = f"cells: {total} total, {committed} committed"
+    if stopped:
+        summary += f", {stopped} stopped early"
+    if missing:
+        summary += f", {missing} missing"
+    lines.append(summary)
+    precision = view.precision
+    if precision:
+        lines.append(
+            f"precision target: rel half-width <= "
+            f"{precision.get('target'):g} at "
+            f"{float(precision.get('confidence', 0.95)):.0%} confidence, "
+            f"min {precision.get('min_reps')} reps, metrics "
+            f"{', '.join(precision.get('metrics') or ['all'])}"
+        )
+    states = group_states(view)
+    gids = sorted(view.groups)
+    for path in headline_metrics(view, metrics):
+        rows: List[Tuple[str, Dict[str, Any], Optional[float]]] = []
+        for gid in gids:
+            group = view.groups[gid]
+            if path in (group.get("metrics") or {}):
+                rows.append((gid, group, _metric_mean(group, path)))
+        if not rows:
+            continue
+        means = [m for _, _, m in rows if m is not None]
+        lo, hi = (min(means), max(means)) if means else (0.0, 0.0)
+        lines.append("")
+        lines.append(f"metric: {path}")
+        lines.append(
+            f"  {'group':<28} {'n':>3} {'mean':>12} {'±hw':>10} "
+            f"{'rel':>7} {'p50 CI':>22} {'heat':>4} {'status':<16} trend"
+        )
+        for gid, group, mean in rows:
+            ci = _ci_entry(group, path)
+            count = ci.get("count",
+                           (group.get("metrics") or {}).get(path, {})
+                           .get("count", 0))
+            hw = ci.get("half_width")
+            rel = ""
+            if hw is not None and mean:
+                rel = f"{hw / abs(mean):.2%}" if abs(mean) > 1e-12 else "inf"
+            p50 = (ci.get("p50") or {})
+            p50_text = (
+                f"[{_fmt(p50.get('lo'))},{_fmt(p50.get('hi'))}]"
+                if p50 else "-"
+            )
+            heat = _heat_char(mean, lo, hi) if mean is not None else " "
+            trend = sparkline((view.series.get(gid) or {}).get(path) or [])
+            lines.append(
+                f"  {_group_label(group):<28.28} {count:>3} "
+                f"{_fmt(mean):>12} {_fmt(hw):>10} {rel:>7} "
+                f"{p50_text:>22.22} {heat:>4} "
+                f"{states.get(gid, '') or '-':<16} {trend}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML dashboard
+# ----------------------------------------------------------------------
+_CSS = """
+body{font:14px/1.45 -apple-system,'Segoe UI',sans-serif;margin:2em;
+     color:#182026;max-width:72em}
+h1{font-size:1.4em} h2{font-size:1.05em;margin:1.6em 0 .4em}
+table{border-collapse:collapse;width:100%}
+th,td{padding:.35em .6em;text-align:right;border-bottom:1px solid #e3e8ee}
+th{color:#5c7080;font-weight:600}
+td.g,th.g{text-align:left;font-family:ui-monospace,monospace}
+.badge{display:inline-block;padding:.1em .5em;border-radius:.7em;
+       font-size:.82em;color:#fff}
+.badge.stopped{background:#0f9960}.badge.met-at-cap{background:#137cbd}
+.badge.budget-exhausted{background:#d9822b}.badge.undecided{background:#5c7080}
+.ci{color:#5c7080;font-size:.86em}
+svg.spark{vertical-align:middle}
+.summary{color:#5c7080}
+"""
+
+
+def _spark_svg(values: Sequence[float], width: int = 110,
+               height: int = 24) -> str:
+    if len(values) < 2:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="#137cbd" stroke-width="1.5"/></svg>'
+    )
+
+
+def _heat_css(value: Optional[float], lo: float, hi: float) -> str:
+    if value is None or hi <= lo:
+        return ""
+    frac = (value - lo) / (hi - lo)
+    # White -> blue ramp; readable in both directions.
+    alpha = 0.08 + 0.5 * frac
+    return f"background:rgba(19,124,189,{alpha:.3f})"
+
+
+def render_html(view: CampaignView, metrics: Sequence[str] = ()) -> str:
+    """Single-file HTML dashboard (no external assets)."""
+    merged = view.merged
+    states = group_states(view)
+    gids = sorted(view.groups)
+    esc = _html.escape
+    parts: List[str] = []
+    parts.append("<!doctype html><html><head><meta charset='utf-8'>")
+    parts.append(
+        f"<title>campaign {esc(str(merged.get('campaign', '?')))}</title>"
+    )
+    parts.append(f"<style>{_CSS}</style></head><body>")
+    parts.append(
+        f"<h1>campaign {esc(str(merged.get('campaign', '?')))} "
+        f"&mdash; observatory</h1>"
+    )
+    total = merged.get("total_cells", 0)
+    committed = merged.get("committed", 0)
+    stopped = len(merged.get("stopped_cells") or [])
+    missing = len(merged.get("missing_cells") or [])
+    summary = (
+        f"{total} cells &middot; {committed} committed &middot; "
+        f"{stopped} stopped early &middot; {missing} missing"
+    )
+    precision = view.precision
+    if precision:
+        summary += (
+            f" &middot; precision target {precision.get('target'):g} rel "
+            f"half-width at "
+            f"{float(precision.get('confidence', 0.95)):.0%} confidence"
+        )
+    parts.append(f"<p class='summary'>{summary}</p>")
+    for path in headline_metrics(view, metrics):
+        rows = [
+            (gid, view.groups[gid]) for gid in gids
+            if path in (view.groups[gid].get("metrics") or {})
+        ]
+        if not rows:
+            continue
+        means = [m for m in (_metric_mean(g, path) for _, g in rows)
+                 if m is not None]
+        lo, hi = (min(means), max(means)) if means else (0.0, 0.0)
+        parts.append(f"<h2>{esc(path)}</h2><table>")
+        parts.append(
+            "<tr><th class='g'>group</th><th>n</th>"
+            "<th>mean &plusmn; hw</th><th>p50 CI</th><th>p95 CI</th>"
+            "<th>status</th><th>trajectory</th></tr>"
+        )
+        for gid, group in rows:
+            ci = _ci_entry(group, path)
+            mean = _metric_mean(group, path)
+            hw = ci.get("half_width")
+            mean_text = _fmt(mean)
+            if hw is not None:
+                mean_text += (
+                    f" <span class='ci'>&plusmn; {_fmt(hw)}</span>"
+                )
+            cells_text = []
+            for q in ("p50", "p95"):
+                qi = ci.get(q) or {}
+                cells_text.append(
+                    f"[{_fmt(qi.get('lo'))}, {_fmt(qi.get('hi'))}]"
+                    if qi else "-"
+                )
+            state = states.get(gid, "")
+            badge = (
+                f"<span class='badge {esc(state)}'>{esc(state)}</span>"
+                if state else "-"
+            )
+            trend = _spark_svg((view.series.get(gid) or {}).get(path) or [])
+            parts.append(
+                f"<tr><td class='g'>{esc(_group_label(group))}</td>"
+                f"<td>{ci.get('count', '-')}</td>"
+                f"<td style='{_heat_css(mean, lo, hi)}'>{mean_text}</td>"
+                f"<td>{cells_text[0]}</td><td>{cells_text[1]}</td>"
+                f"<td>{badge}</td><td>{trend}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Cross-run compare
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompareRow:
+    """One (grid point, metric) verdict."""
+
+    gid: str
+    label: str
+    metric: str
+    verdict: str  # improved|regressed|shifted|indistinguishable|missing
+    base_mean: Optional[float]
+    cand_mean: Optional[float]
+    delta_pct: Optional[float]
+
+
+@dataclass
+class CompareResult:
+    rows: List[CompareRow]
+    warnings: List[str] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            out[row.verdict] = out.get(row.verdict, 0) + 1
+        return out
+
+    @property
+    def breaches(self) -> List[CompareRow]:
+        return [r for r in self.rows
+                if r.verdict in ("regressed", "shifted", "missing")]
+
+    @property
+    def exit_code(self) -> int:
+        return 4 if self.breaches else 0
+
+
+def _interval_of(group: Dict[str, Any],
+                 path: str) -> Optional[Tuple[float, float]]:
+    entry = _ci_entry(group, path)
+    lo, hi = entry.get("lo"), entry.get("hi")
+    if entry.get("count", 0) >= 2 and lo is not None and hi is not None:
+        return float(lo), float(hi)
+    return None
+
+
+def compare_merged(base: Dict[str, Any], cand: Dict[str, Any],
+                   metrics: Sequence[str] = ()) -> CompareResult:
+    """Diff two merged documents with CI-overlap-aware verdicts.
+
+    Per grid point per metric: overlapping confidence intervals are
+    ``indistinguishable``; disjoint ones are judged by
+    :func:`metric_direction` (``improved``/``regressed``; ``shifted``
+    when no direction is known — a drift breach, because an unexplained
+    move in airtime shares is exactly what surveillance exists to
+    catch).  Metrics or grid points present on one side only are
+    ``missing``.  Groups below two replications fall back to exact mean
+    comparison — degenerate, but it keeps self-comparison exit 0.
+    """
+    from repro.campaign.stats import metric_matches
+
+    base_groups = base.get("groups") or {}
+    cand_groups = cand.get("groups") or {}
+    rows: List[CompareRow] = []
+    warnings: List[str] = []
+    if base.get("campaign") != cand.get("campaign"):
+        warnings.append(
+            f"comparing different campaigns: "
+            f"{base.get('campaign')!r} vs {cand.get('campaign')!r}"
+        )
+    for gid in sorted(set(base_groups) | set(cand_groups)):
+        b_group = base_groups.get(gid)
+        c_group = cand_groups.get(gid)
+        label = _group_label(b_group or c_group or {})
+        if b_group is None or c_group is None:
+            rows.append(CompareRow(gid, label, "*", "missing",
+                                   None, None, None))
+            continue
+        paths = sorted(
+            set(b_group.get("metrics") or {})
+            | set(c_group.get("metrics") or {})
+        )
+        for path in paths:
+            if not metric_matches(path, metrics):
+                continue
+            b_mean = _metric_mean(b_group, path)
+            c_mean = _metric_mean(c_group, path)
+            if b_mean is None or c_mean is None:
+                rows.append(CompareRow(gid, label, path, "missing",
+                                       b_mean, c_mean, None))
+                continue
+            delta_pct = (
+                (c_mean - b_mean) / abs(b_mean) * 100.0
+                if abs(b_mean) > 1e-12 else None
+            )
+            b_iv = _interval_of(b_group, path)
+            c_iv = _interval_of(c_group, path)
+            if b_iv is not None and c_iv is not None:
+                overlap = b_iv[0] <= c_iv[1] and c_iv[0] <= b_iv[1]
+                distinct = not overlap
+            else:
+                # Degenerate CIs (single replication): exact means only.
+                distinct = abs(c_mean - b_mean) > 1e-12 * max(
+                    1.0, abs(b_mean)
+                )
+            if not distinct:
+                verdict = "indistinguishable"
+            else:
+                direction = metric_direction(path)
+                if direction is None:
+                    verdict = "shifted"
+                elif (c_mean > b_mean) == (direction == "higher"):
+                    verdict = "improved"
+                else:
+                    verdict = "regressed"
+            rows.append(CompareRow(gid, label, path, verdict,
+                                   b_mean, c_mean, delta_pct))
+    return CompareResult(rows=rows, warnings=warnings)
+
+
+def format_compare(result: CompareResult, base_name: str = "A",
+                   cand_name: str = "B") -> str:
+    """Render a compare result as CLI text (breaches first)."""
+    lines: List[str] = []
+    lines.append(f"# campaign compare: {base_name} -> {cand_name}")
+    for warning in result.warnings:
+        lines.append(f"warning: {warning}")
+    counts = result.counts()
+    lines.append(
+        "verdicts: " + (
+            ", ".join(f"{counts[v]} {v}" for v in sorted(counts))
+            or "nothing compared"
+        )
+    )
+    interesting = [r for r in result.rows
+                   if r.verdict != "indistinguishable"]
+    if interesting:
+        lines.append(
+            f"{'group':<28} {'metric':<28} {'verdict':<17} "
+            f"{'base':>12} {'cand':>12} {'delta':>8}"
+        )
+        ranked = sorted(
+            interesting,
+            key=lambda r: (r.verdict not in ("regressed", "shifted",
+                                             "missing"),
+                           r.gid, r.metric),
+        )
+        for row in ranked:
+            delta = (f"{row.delta_pct:+.2f}%"
+                     if row.delta_pct is not None else "-")
+            lines.append(
+                f"{row.label:<28.28} {row.metric:<28.28} "
+                f"{row.verdict:<17} {_fmt(row.base_mean):>12} "
+                f"{_fmt(row.cand_mean):>12} {delta:>8}"
+            )
+    if result.breaches:
+        lines.append(
+            f"REGRESSION: {len(result.breaches)} breach(es) — "
+            f"exit {result.exit_code}"
+        )
+    else:
+        lines.append("no regressions detected")
+    return "\n".join(lines)

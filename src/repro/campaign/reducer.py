@@ -54,10 +54,19 @@ def _group_id(key: Dict[str, Any]) -> str:
 
 
 class CampaignReducer:
-    """Fold shard payloads into per-grid-point metric sketches."""
+    """Fold shard payloads into per-grid-point metric sketches.
 
-    def __init__(self, max_centroids: int = 128) -> None:
+    With ``confidence`` set, :meth:`to_dict` adds a per-group ``ci``
+    section — t-intervals on every metric mean plus rank-based
+    intervals on P50/P95/P99 (see :mod:`repro.campaign.stats`).  The
+    intervals are a pure function of the folded shards, so they share
+    the byte-identity guarantee of the rest of the merged document.
+    """
+
+    def __init__(self, max_centroids: int = 128,
+                 confidence: float = 0.0) -> None:
         self.max_centroids = max_centroids
+        self.confidence = confidence
         #: group id -> metric path -> sketch over replications.
         self.groups: Dict[str, Dict[str, QuantileSketch]] = {}
         #: group id -> the grid-point key dict (for rendering).
@@ -84,18 +93,25 @@ class CampaignReducer:
         out: Dict[str, Any] = {}
         for gid in sorted(self.groups):
             metrics = self.groups[gid]
-            out[gid] = {
+            group: Dict[str, Any] = {
                 "key": self.group_keys[gid],
                 "metrics": {
                     path: _rounded(metrics[path].to_dict())
                     for path in sorted(metrics)
                 },
             }
+            if self.confidence:
+                from repro.campaign.stats import group_ci_dict
+
+                group["ci"] = _rounded(
+                    group_ci_dict(metrics, self.confidence)
+                )
+            out[gid] = group
         return out
 
 
-def _rounded(sketch_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Round sketch floats to 12 significant digits.
+def _rounded(tree: Dict[str, Any]) -> Dict[str, Any]:
+    """Round floats to 12 significant digits, recursing into sub-dicts.
 
     Sketch means come from float accumulation whose last bits are an
     implementation detail; rounding keeps the merged document stable
@@ -103,9 +119,11 @@ def _rounded(sketch_dict: Dict[str, Any]) -> Dict[str, Any]:
     campaign consumer could act on.
     """
     out: Dict[str, Any] = {}
-    for key, value in sketch_dict.items():
+    for key, value in tree.items():
         if isinstance(value, float):
             out[key] = float(f"{value:.12g}")
+        elif isinstance(value, dict):
+            out[key] = _rounded(value)
         else:
             out[key] = value
     return out

@@ -82,6 +82,21 @@ class CampaignSpec:
     backoff_base_s: float = 0.05
     #: Hard cap on any single backoff delay.
     backoff_cap_s: float = 5.0
+    #: Sequential-stopping target: maximum relative CI half-width at
+    #: which a grid point may stop replicating early.  0.0 disables
+    #: precision mode and ``replications`` runs unconditionally; when
+    #: set, ``replications`` becomes the hard cap.
+    precision: float = 0.0
+    #: Metric paths (or path prefixes) the precision target applies to.
+    #: Empty means every numeric metric — usually too strict, since
+    #: near-zero metrics never tighten in relative terms.
+    precision_metrics: Tuple[str, ...] = ()
+    #: Confidence level of every interval (stopping rule, merged ``ci``
+    #: sections, and the observatory's dashboards).
+    confidence: float = 0.95
+    #: Replications every grid point must commit before the stopping
+    #: rule may retire it (variance estimates below this are noise).
+    min_reps: int = 3
 
     # ------------------------------------------------------------------
     @classmethod
@@ -97,6 +112,10 @@ class CampaignSpec:
         retry_budgets: Optional[Dict[str, int]] = None,
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 5.0,
+        precision: float = 0.0,
+        precision_metrics: Optional[Sequence[str]] = None,
+        confidence: float = 0.95,
+        min_reps: int = 3,
     ) -> "CampaignSpec":
         """Build a spec from plain dicts (axis order = dict order)."""
         if replications < 1:
@@ -108,6 +127,12 @@ class CampaignSpec:
                 raise ValueError(f"grid axis {axis!r} has no values")
         if not 0.0 <= min_complete <= 1.0:
             raise ValueError("min_complete must be within [0, 1]")
+        if precision < 0.0:
+            raise ValueError("precision must be >= 0 (0 disables)")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be within (0, 1)")
+        if min_reps < 2:
+            raise ValueError("min_reps must be >= 2 (variance needs two)")
         return cls(
             name=name,
             fn=fn,
@@ -119,6 +144,10 @@ class CampaignSpec:
             retry_budgets=tuple(sorted((retry_budgets or {}).items())),
             backoff_base_s=float(backoff_base_s),
             backoff_cap_s=float(backoff_cap_s),
+            precision=float(precision),
+            precision_metrics=tuple(precision_metrics or ()),
+            confidence=float(confidence),
+            min_reps=int(min_reps),
         )
 
     # ------------------------------------------------------------------
@@ -200,6 +229,10 @@ class CampaignSpec:
             "retry_budgets": dict(self.retry_budgets),
             "backoff_base_s": self.backoff_base_s,
             "backoff_cap_s": self.backoff_cap_s,
+            "precision": self.precision,
+            "precision_metrics": list(self.precision_metrics),
+            "confidence": self.confidence,
+            "min_reps": self.min_reps,
         }
 
     def to_json(self) -> str:
@@ -219,6 +252,10 @@ class CampaignSpec:
                 retry_budgets=data.get("retry_budgets"),
                 backoff_base_s=data.get("backoff_base_s", 0.05),
                 backoff_cap_s=data.get("backoff_cap_s", 5.0),
+                precision=data.get("precision", 0.0),
+                precision_metrics=data.get("precision_metrics"),
+                confidence=data.get("confidence", 0.95),
+                min_reps=data.get("min_reps", 3),
             )
         except KeyError as exc:
             raise ValueError(f"campaign spec missing field {exc}") from exc

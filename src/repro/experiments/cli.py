@@ -23,6 +23,7 @@ import argparse
 import os
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.experiments import (
@@ -530,12 +531,13 @@ def _validate_main(argv: list[str]) -> int:
 # `campaign` subcommands
 # ----------------------------------------------------------------------
 def _campaign_main(argv: list[str]) -> int:
-    """``repro campaign {run,resume,status,chaos}``.
+    """``repro campaign {run,resume,status,report,compare,chaos}``.
 
     Exit codes: 0 clean, 2 usage error, 3 partial (some cells exhausted
     their retry budget), 4 gate breach (completion below the spec's
-    ``min_complete`` floor, or corrupted campaign state), 130 when
-    interrupted (SIGINT/SIGTERM) — resume with ``campaign resume``.
+    ``min_complete`` floor, corrupted campaign state, or — for
+    ``compare`` — a CI-distinct regression/drift between two runs), 130
+    when interrupted (SIGINT/SIGTERM) — resume with ``campaign resume``.
     """
     parser = argparse.ArgumentParser(
         prog="repro campaign",
@@ -566,6 +568,25 @@ def _campaign_main(argv: list[str]) -> int:
     run_p.add_argument("spec", metavar="SPEC",
                        help="campaign spec JSON file, or 'demo' for the "
                             "built-in four-scheme demo sweep")
+    run_p.add_argument("--replications", type=int, default=None, metavar="N",
+                       help="override the spec's replication count "
+                            "(the hard cap in precision mode)")
+    run_p.add_argument("--precision", type=float, default=None, metavar="REL",
+                       help="sequential stopping: stop replicating a grid "
+                            "point once every targeted metric's relative "
+                            "CI half-width is <= REL (e.g. 0.05)")
+    run_p.add_argument("--precision-metric", action="append", default=None,
+                       metavar="PATH",
+                       help="metric path (or prefix) the precision target "
+                            "applies to (repeatable; default: the spec's, "
+                            "else all metrics)")
+    run_p.add_argument("--confidence", type=float, default=None, metavar="C",
+                       help="confidence level for all intervals "
+                            "(default: the spec's, else 0.95)")
+    run_p.add_argument("--min-reps", type=int, default=None, metavar="N",
+                       help="replications required before the stopping "
+                            "rule may retire a grid point (default: the "
+                            "spec's, else 3)")
     _common(run_p)
 
     resume_p = sub.add_parser(
@@ -582,6 +603,38 @@ def _campaign_main(argv: list[str]) -> int:
     status_p.add_argument("--dir", required=True, metavar="DIR")
     status_p.add_argument("-v", "--verbose", action="count", default=0)
     status_p.add_argument("-q", "--quiet", action="count", default=0)
+
+    report_p = sub.add_parser(
+        "report", help="observatory dashboard: per-grid-point estimates "
+                       "with confidence intervals, stopping status, and "
+                       "replication trajectories"
+    )
+    report_p.add_argument("--dir", required=True, metavar="DIR",
+                          help="campaign directory (or a merged.json file)")
+    report_p.add_argument("--metric", action="append", default=None,
+                          metavar="PATH",
+                          help="metric path/prefix to show (repeatable; "
+                               "default: precision targets, else top-level "
+                               "scalars)")
+    report_p.add_argument("--html", metavar="FILE", default=None,
+                          help="also write a single-file HTML dashboard")
+    report_p.add_argument("-v", "--verbose", action="count", default=0)
+    report_p.add_argument("-q", "--quiet", action="count", default=0)
+
+    compare_p = sub.add_parser(
+        "compare", help="diff two campaign runs with CI-overlap-aware "
+                        "verdicts; exit 4 on regression or drift"
+    )
+    compare_p.add_argument("base", metavar="BASE",
+                           help="baseline campaign dir or merged.json")
+    compare_p.add_argument("cand", metavar="CAND",
+                           help="candidate campaign dir or merged.json")
+    compare_p.add_argument("--metric", action="append", default=None,
+                           metavar="PATH",
+                           help="restrict the diff to these metric "
+                                "paths/prefixes (repeatable)")
+    compare_p.add_argument("-v", "--verbose", action="count", default=0)
+    compare_p.add_argument("-q", "--quiet", action="count", default=0)
 
     chaos_p = sub.add_parser(
         "chaos", help="self-inject faults (worker kills, SIGKILL, shard "
@@ -612,6 +665,47 @@ def _campaign_main(argv: list[str]) -> int:
             log.warning("%s", warning)
         print(format_status(status.rows, title=f"Campaign {args.dir}"))
         return status.exit_code
+
+    if args.command == "report":
+        from repro.campaign.observatory import (
+            load_campaign,
+            render_html,
+            render_report,
+        )
+
+        try:
+            view = load_campaign(args.dir)
+        except (OSError, ValueError) as exc:
+            log.error("cannot load campaign %s: %s", args.dir, exc)
+            return 2
+        metrics = tuple(args.metric or ())
+        print(render_report(view, metrics))
+        if args.html:
+            Path(args.html).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.html).write_text(render_html(view, metrics))
+            print(f"html dashboard: {args.html}")
+        return 0
+
+    if args.command == "compare":
+        from repro.campaign.observatory import (
+            compare_merged,
+            format_compare,
+            load_campaign,
+        )
+
+        docs = []
+        for name in (args.base, args.cand):
+            try:
+                docs.append(load_campaign(name).merged)
+            except (OSError, ValueError) as exc:
+                log.error("cannot load %s: %s", name, exc)
+                return 2
+        result = compare_merged(docs[0], docs[1],
+                                metrics=tuple(args.metric or ()))
+        for warning in result.warnings:
+            log.warning("%s", warning)
+        print(format_compare(result, args.base, args.cand))
+        return result.exit_code
 
     if args.command == "chaos":
         from repro.campaign.chaos import ALL_MODES, run_chaos
@@ -650,6 +744,23 @@ def _campaign_main(argv: list[str]) -> int:
                 except (OSError, ValueError, KeyError, TypeError) as exc:
                     log.error("cannot load campaign spec %s: %s",
                               args.spec, exc)
+                    return 2
+            overrides = {
+                "replications": args.replications,
+                "precision": args.precision,
+                "precision_metrics": args.precision_metric,
+                "confidence": args.confidence,
+                "min_reps": args.min_reps,
+            }
+            overrides = {k: v for k, v in overrides.items()
+                         if v is not None}
+            if overrides:
+                try:
+                    spec = CampaignSpec.from_dict(
+                        {**spec.to_dict(), **overrides}
+                    )
+                except ValueError as exc:
+                    log.error("invalid precision override: %s", exc)
                     return 2
             engine = CampaignEngine(spec, args.dir, **engine_kwargs)
             outcome = engine.run(resume=True)

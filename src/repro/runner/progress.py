@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
+    "ETA_MAX_S",
     "Heartbeat",
     "HeartbeatWriter",
     "ManifestWriter",
@@ -61,6 +62,11 @@ DEFAULT_INTERVAL_EVENTS = 200_000
 
 #: Minimum wall seconds between heartbeat file writes.
 DEFAULT_MIN_WRITE_S = 0.5
+
+#: Upper clamp for ETA estimates (seconds).  A first noisy sim-rate
+#: sample can put the projection in the millions of seconds; anything
+#: above a week carries no information a human can act on.
+ETA_MAX_S = 7 * 24 * 3600.0
 
 
 def rss_bytes() -> int:
@@ -212,10 +218,22 @@ class HeartbeatWriter:
         events = events_processed_total() - self._events_base
         rate = events / wall if wall > 0 else 0.0
         eta: Optional[float] = None
-        if sim_until_us is not None and wall > 0 and t_sim_us > 0:
+        # ETA guard: the very first sample (beat 1) has a sim rate
+        # extrapolated from almost no wall time — its projection can be
+        # wild in either direction — so ETA is only estimated from the
+        # second sample on, only once events have actually executed,
+        # and always clamped to [0, ETA_MAX_S].
+        if (
+            self.beat >= 1
+            and events > 0
+            and sim_until_us is not None
+            and wall > 0
+            and t_sim_us > 0
+        ):
             sim_rate = t_sim_us / wall  # simulated µs per wall second
             if sim_rate > 0:
-                eta = max(0.0, (sim_until_us - t_sim_us) / sim_rate)
+                eta = (sim_until_us - t_sim_us) / sim_rate
+                eta = min(max(0.0, eta), ETA_MAX_S)
         self.beat += 1
         beat = Heartbeat(
             label=self.label,
@@ -321,9 +339,18 @@ class ProgressAggregator:
             parts.append(f"{rate / 1e3:.0f}k ev/s")
             if rss:
                 parts.append(f"{rss / 1e6:.0f} MB rss")
-            etas = [b.eta_s for b in running if b.eta_s is not None]
+            # Only beats past their first sample carry a trustworthy
+            # ETA (see HeartbeatWriter._write); until at least one
+            # running worker has such a sample, show a placeholder
+            # rather than a number extrapolated from nothing.
+            etas = [
+                b.eta_s for b in running
+                if b.eta_s is not None and b.beat >= 2
+            ]
             if etas:
                 parts.append(f"eta {max(etas):.0f}s")
+            else:
+                parts.append("eta --")
             slowest = min(
                 (b for b in running if b.fraction is not None),
                 key=lambda b: b.fraction, default=None,

@@ -92,7 +92,7 @@ class QuantileSketch:
     fed the whole stream (tested in ``tests/test_streaming.py``).
     """
 
-    __slots__ = ("max_centroids", "_flush_at", "_count", "_total",
+    __slots__ = ("max_centroids", "_flush_at", "_count", "_total", "_m2",
                  "_min", "_max", "_means", "_weights", "_buffer")
 
     def __init__(self, max_centroids: int = 200) -> None:
@@ -106,6 +106,12 @@ class QuantileSketch:
         self._flush_at = 4 * max_centroids
         self._count = 0
         self._total = 0.0
+        # Sum of squared deviations from the mean (Welford/Chan "M2").
+        # Maintained by *batched* moment accounting: folded from the raw
+        # buffer at compress time and combined across sketches with
+        # Chan's parallel update — so variance is exact (up to float
+        # rounding) no matter how aggressively centroids coalesce.
+        self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
         self._means: List[float] = []
@@ -131,6 +137,31 @@ class QuantileSketch:
         count = self.count
         return self.total / count if count else 0.0
 
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); exact, not sketch-bounded.
+
+        Unlike the quantile estimates, the second moment is carried
+        outside the centroid list (see ``_m2``), so this is the same
+        number an offline pass over the raw stream would produce.
+        """
+        self._compress()
+        if self._count < 2:
+            return 0.0
+        return max(self._m2, 0.0) / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (0.0 below two samples)."""
+        self._compress()
+        if self._count < 2:
+            return 0.0
+        return self.stddev / math.sqrt(self._count)
+
     def __len__(self) -> int:
         return self.count
 
@@ -148,10 +179,28 @@ class QuantileSketch:
             self._compress()
 
     def merge(self, other: "QuantileSketch") -> "QuantileSketch":
-        """Fold ``other`` into this sketch (returns ``self``)."""
+        """Fold ``other`` into this sketch (returns ``self``).
+
+        Merging an empty sketch (either direction) is a full identity:
+        count, moments, min/max, and every quantile are unchanged.  Both
+        sketches are compressed up front — *self* included, so that its
+        buffered samples are folded into ``_count``/``_min``/``_max``/
+        ``_m2`` before the moment combination reads them (skipping that
+        fold used to leave a buffer-only sketch's tracking state stale
+        across a merge with an empty peer).
+        """
         other._compress()
+        self._compress()
         if other._count == 0:
             return self
+        # Chan et al. parallel moment combination, computed from the
+        # pre-merge counts/means.
+        n_a, n_b = self._count, other._count
+        if n_a == 0:
+            self._m2 = other._m2
+        else:
+            delta = other._total / n_b - self._total / n_a
+            self._m2 += other._m2 + delta * delta * (n_a * n_b) / (n_a + n_b)
         self._count += other._count
         self._total += other._total
         if other._min < self._min:
@@ -173,8 +222,22 @@ class QuantileSketch:
         )
         buffer = self._buffer
         if buffer:
-            self._count += len(buffer)
-            self._total += sum(buffer)
+            n_b = len(buffer)
+            batch_total = sum(buffer)
+            batch_mean = batch_total / n_b
+            batch_m2 = math.fsum(
+                (v - batch_mean) * (v - batch_mean) for v in buffer
+            )
+            # Chan parallel combination of (existing, batch) moments.
+            n_a = self._count
+            if n_a == 0:
+                self._m2 = batch_m2
+            else:
+                delta = batch_mean - self._total / n_a
+                self._m2 += batch_m2 + \
+                    delta * delta * (n_a * n_b) / (n_a + n_b)
+            self._count += n_b
+            self._total += batch_total
             lo, hi = min(buffer), max(buffer)
             if lo < self._min:
                 self._min = lo
@@ -245,6 +308,29 @@ class QuantileSketch:
     def quantiles(self, qs: Sequence[float]) -> List[float]:
         return [self.quantile(q) for q in qs]
 
+    def value_at_rank(self, rank: int) -> float:
+        """Estimate the value of the 1-based ``rank``-th order statistic.
+
+        This is the hook rank-based quantile intervals are built on: an
+        order-statistic interval ``[X_(lo), X_(hi)]`` maps its ranks to
+        values through this method.  While the sample count stays within
+        the centroid budget (the campaign case — tens of replications),
+        every centroid holds exactly one sample and the returned value
+        is the *exact* order statistic; beyond that it inherits the
+        sketch's documented rank error bound.
+        """
+        n = self.count
+        if n == 0:
+            raise ValueError("value_at_rank on an empty sketch")
+        if rank <= 1:
+            return self.quantile(0.0)
+        if rank >= n:
+            return self.quantile(1.0)
+        # Centroid midpoint-rank interpolation puts the i-th unit-weight
+        # centroid exactly at rank i - 0.5 of n, so this query returns
+        # the i-th sample verbatim in the uncompressed regime.
+        return self.quantile((rank - 0.5) / n)
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot: count, moments, and standard quantiles."""
@@ -254,6 +340,8 @@ class QuantileSketch:
         out: Dict[str, Any] = {
             "count": self.count,
             "mean": self.mean,
+            "var": self.variance,
+            "stderr": self.stderr,
             "min": self._min,
             "max": self._max,
         }

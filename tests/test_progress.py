@@ -17,6 +17,7 @@ import pytest
 
 from repro.runner.progress import (
     DEFAULT_INTERVAL_EVENTS,
+    ETA_MAX_S,
     Heartbeat,
     HeartbeatWriter,
     ManifestWriter,
@@ -138,6 +139,54 @@ class TestHeartbeatWriter:
         assert len(beats) == 1          # one file per label, latest wins
         assert beats[0].phase == "done"
 
+    def test_first_sample_has_no_eta_later_samples_do(self, tmp_path):
+        writer = HeartbeatWriter(
+            str(tmp_path), "eta-run", interval_events=100, min_write_s=0.0
+        )
+        sim = Simulator()
+        writer.arm()
+        (first,) = read_heartbeats(str(tmp_path))
+        assert first.beat == 1
+        assert first.eta_s is None          # nothing to extrapolate from
+        try:
+            drive(sim, 1000)
+        finally:
+            writer.finish()
+        (beat,) = read_heartbeats(str(tmp_path))
+        assert beat.beat >= 2
+        assert beat.eta_s is not None
+        assert 0.0 <= beat.eta_s <= ETA_MAX_S
+
+    def test_absurd_eta_projection_is_clamped(self, tmp_path):
+        import time
+
+        from repro.sim.engine import events_processed_total
+
+        writer = HeartbeatWriter(str(tmp_path), "clamp-run")
+        writer.spool.mkdir(parents=True, exist_ok=True)
+        writer.beat = 1                     # past the first-sample guard
+        # 100 s of wall time for 1 µs of simulated progress towards a
+        # 1e12 µs target: the raw projection is ~1e14 wall seconds.
+        writer._start_wall = time.perf_counter() - 100.0
+        writer._events_base = events_processed_total() - 5
+        writer._write(t_sim_us=1.0, sim_until_us=1e12, phase="running")
+        (beat,) = read_heartbeats(str(tmp_path))
+        assert beat.eta_s == ETA_MAX_S
+
+    def test_no_eta_before_any_events_execute(self, tmp_path):
+        import time
+
+        writer = HeartbeatWriter(str(tmp_path), "idle-run")
+        writer.spool.mkdir(parents=True, exist_ok=True)
+        writer.beat = 1
+        writer._start_wall = time.perf_counter() - 1.0
+        from repro.sim.engine import events_processed_total
+
+        writer._events_base = events_processed_total()  # zero executed
+        writer._write(t_sim_us=5.0, sim_until_us=1e6, phase="running")
+        (beat,) = read_heartbeats(str(tmp_path))
+        assert beat.eta_s is None
+
     def test_engine_hook_cadence_and_disarm(self):
         calls = []
         set_default_progress(lambda sim, executed: calls.append(executed),
@@ -189,9 +238,9 @@ class TestReadHeartbeats:
 # Status line rendering (pure)
 # ----------------------------------------------------------------------
 class TestProgressAggregator:
-    def _beat(self, label, phase="running", frac=0.5, eta=10.0):
+    def _beat(self, label, phase="running", frac=0.5, eta=10.0, beat=3):
         return Heartbeat(
-            label=label, pid=1, beat=1, phase=phase,
+            label=label, pid=1, beat=beat, phase=phase,
             t_sim_us=frac * 1e7, sim_until_us=1e7, events=1000,
             events_per_sec=40_000.0, wall_s=1.0, eta_s=eta,
             rss_bytes=50_000_000,
@@ -210,6 +259,26 @@ class TestProgressAggregator:
         assert "100 MB rss" in line
         assert "eta 45s" in line             # max over running
         assert "slow 10%" in line            # slowest fraction named
+
+    def test_render_shows_eta_placeholder_until_second_sample(self):
+        agg = ProgressAggregator("unused", total_specs=2,
+                                 stream=io.StringIO())
+        # All running workers are on their first (untrustworthy) sample:
+        # the line must say so instead of inventing a number.
+        line = agg.render([self._beat("a", eta=500.0, beat=1)])
+        assert "eta --" in line and "eta 500s" not in line
+        # A worker with no estimate at all also keeps the placeholder.
+        line = agg.render([self._beat("a", eta=None, beat=5)])
+        assert "eta --" in line
+
+    def test_render_eta_ignores_first_sample_projections(self):
+        agg = ProgressAggregator("unused", total_specs=2,
+                                 stream=io.StringIO())
+        line = agg.render([
+            self._beat("wild", eta=9000.0, beat=1),   # first sample: noise
+            self._beat("calm", eta=10.0, beat=4),
+        ])
+        assert "eta 10s" in line and "9000" not in line
 
     def test_render_counts_cache_hits(self):
         agg = ProgressAggregator("unused", total_specs=10,

@@ -155,6 +155,95 @@ class TestQuantileSketch:
         assert snap["count"] == 1000
         assert snap["min"] == 0.0 and snap["max"] == 999.0
         assert abs(snap["p50"] - 499.5) <= 1000 * sketch.rank_error_bound
+        # Dispersion fields ride along for interval estimation.
+        two_pass = sum((i - 499.5) ** 2 for i in range(1000)) / 999
+        assert snap["var"] == pytest.approx(two_pass, rel=1e-9)
+        assert snap["stderr"] == pytest.approx(
+            math.sqrt(two_pass / 1000), rel=1e-9
+        )
+
+    # ------------------------------------------------------------------
+    # Mergeable moments + merge-of-empty regression (PR 9)
+    # ------------------------------------------------------------------
+    @given(data=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_empty_preserves_full_state(self, data):
+        """Regression: merging an empty sketch — either direction — must
+        be a full identity, including min/max and the moment state, even
+        while the populated sketch's values still sit in its observe
+        buffer (the pre-fix path skipped compression and could serve a
+        stale snapshot afterwards)."""
+        reference = QuantileSketch(64)
+        for value in data:
+            reference.observe(value)
+        expect = (reference.count, reference.total, reference.quantile(0.0),
+                  reference.quantile(1.0), reference.variance)
+
+        populated = QuantileSketch(64)
+        for value in data:
+            populated.observe(value)
+        populated.merge(QuantileSketch(64))   # buffer-only self, empty other
+        assert (populated.count, populated.total, populated.quantile(0.0),
+                populated.quantile(1.0), populated.variance) == expect
+
+        other = QuantileSketch(64)
+        for value in data:
+            other.observe(value)
+        empty = QuantileSketch(64)
+        empty.merge(other)                    # empty self, populated other
+        assert (empty.count, empty.total, empty.quantile(0.0),
+                empty.quantile(1.0), empty.variance) == expect
+
+    def test_variance_is_exact_despite_compression(self):
+        data = [((i * 37) % 1000) / 7.0 for i in range(5000)]
+        sketch = QuantileSketch(max_centroids=16)   # heavy compression
+        for value in data:
+            sketch.observe(value)
+        mean = sum(data) / len(data)
+        two_pass = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+        assert sketch.variance == pytest.approx(two_pass, rel=1e-9)
+        assert sketch.stddev == pytest.approx(math.sqrt(two_pass), rel=1e-9)
+        assert sketch.stderr == pytest.approx(
+            math.sqrt(two_pass / len(data)), rel=1e-9
+        )
+
+    @given(data=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_variance_survives_merge(self, data):
+        """Chan-combined shard moments equal the single-pass moments."""
+        mid = len(data) // 2
+        left, right = QuantileSketch(16), QuantileSketch(16)
+        for value in data[:mid]:
+            left.observe(value)
+        for value in data[mid:]:
+            right.observe(value)
+        left.merge(right)
+        whole = QuantileSketch(16)
+        for value in data:
+            whole.observe(value)
+        assert left.variance == pytest.approx(
+            whole.variance, rel=1e-6, abs=1e-9
+        )
+
+    def test_variance_degenerate_cases(self):
+        sketch = QuantileSketch(64)
+        assert sketch.variance == 0.0 and sketch.stderr == 0.0
+        sketch.observe(3.0)
+        assert sketch.variance == 0.0 and sketch.stderr == 0.0
+        sketch.observe(3.0)
+        assert sketch.variance == 0.0    # constant data: exactly zero
+
+    def test_value_at_rank_is_exact_below_capacity(self):
+        data = [9.0, 1.0, 5.0, 3.0, 7.0]
+        sketch = QuantileSketch(64)
+        for value in data:
+            sketch.observe(value)
+        expect = sorted(data)
+        for rank in range(1, len(data) + 1):
+            assert sketch.value_at_rank(rank) == expect[rank - 1]
+        # Out-of-range ranks clamp to the exact tails.
+        assert sketch.value_at_rank(0) == 1.0
+        assert sketch.value_at_rank(99) == 9.0
 
 
 # ----------------------------------------------------------------------
