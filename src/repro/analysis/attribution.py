@@ -175,6 +175,9 @@ class Attribution:
     pre_enqueue_drops: int = 0
     #: True when the stats cover the measurement window only.
     windowed: bool = False
+    #: Station -> BSS id, harvested from multi-BSS ``tx`` records; empty
+    #: for single-BSS traces, which keeps legacy waterfalls unchanged.
+    bss_of: Dict[int, int] = field(default_factory=dict)
 
     def _station(self, station: Optional[int]) -> StationAttribution:
         key = -1 if station is None else station
@@ -206,6 +209,8 @@ class Attribution:
             "unmatched": self.unmatched,
             "pre_enqueue_drops": self.pre_enqueue_drops,
             "windowed": self.windowed,
+            "bss_of": {str(station): bss
+                       for station, bss in sorted(self.bss_of.items())},
         }
 
     @classmethod
@@ -221,6 +226,10 @@ class Attribution:
             unmatched=data.get("unmatched", 0),
             pre_enqueue_drops=data.get("pre_enqueue_drops", 0),
             windowed=data.get("windowed", False),
+            bss_of={
+                int(station): bss
+                for station, bss in data.get("bss_of", {}).items()
+            },
         )
 
 
@@ -249,6 +258,7 @@ def attribute_records(
     collector = SpanCollector()
     feed = collector.feed
     t_last: Optional[float] = None
+    bss_of: Dict[int, int] = {}
     #: Closed spans seen before the marker status is known.  If no
     #: marker ever appears they replay, in order, into the whole-trace
     #: result; pre-marker spans always close with ``in_window`` False,
@@ -258,6 +268,10 @@ def attribute_records(
     iterator = iter(records)
     for record in iterator:
         t_last = record["t"]
+        if record.get("cat") == "tx":
+            bss = record.get("bss")
+            if bss is not None:
+                bss_of[record["station"]] = bss
         spans = feed(record)
         if spans:
             buffered.extend(spans)
@@ -271,6 +285,10 @@ def attribute_records(
         observe = result.observe
         for record in iterator:
             t_last = record["t"]
+            if record.get("cat") == "tx":
+                bss = record.get("bss")
+                if bss is not None:
+                    bss_of[record["station"]] = bss
             for span in feed(record):
                 if span.in_window:
                     observe(span)
@@ -282,6 +300,7 @@ def attribute_records(
     result.open_spans = len(collector.finish(t_last))
     result.unmatched = collector.unmatched
     result.pre_enqueue_drops = collector.pre_enqueue_drops
+    result.bss_of = bss_of
     return result
 
 
@@ -330,6 +349,8 @@ def format_waterfall(
         if entry.delivered == 0:
             continue
         label = "-" if station == -1 else str(station)
+        if attribution.bss_of and station in attribution.bss_of:
+            label = f"{label} (bss {attribution.bss_of[station]})"
         spark = _segment_sparkline(entry)
         lines.append("")
         lines.append(

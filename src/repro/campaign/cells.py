@@ -18,7 +18,7 @@ from typing import Any, Dict
 
 from repro.campaign.spec import CampaignSpec
 
-__all__ = ["simulate_cell", "demo_spec"]
+__all__ = ["simulate_cell", "campus_cell", "demo_spec", "campus_spec"]
 
 #: Scheme aliases accepted by :func:`simulate_cell` (grid-friendly
 #: strings mapping onto :class:`repro.mac.ap.Scheme` values).
@@ -97,6 +97,39 @@ def simulate_cell(
     }
 
 
+def campus_cell(
+    scheme: str = "airtime",
+    n_bss: int = 3,
+    n_channels: int = 1,
+    stations_per_bss: int = 3,
+    duration_s: float = 2.0,
+    warmup_s: float = 1.0,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Run one multi-BSS campus scenario and return JSON-ready metrics.
+
+    The returned dict nests per-BSS groups (``bss.<id>.jain_airtime``,
+    ``bss.<id>.p95_ms`` … after the reducer's metric flattening) next to
+    campus-wide aggregates, so a BSS-density sweep gets per-cell *and*
+    per-campus confidence intervals from the same run.
+    """
+    from repro.experiments.campus import campus_metrics, _resolve_scheme as resolve
+    from repro.experiments.workloads import saturating_udp_download
+    from repro.topology import CampusOptions, CampusTestbed, campus_topology
+
+    topology = campus_topology(
+        n_bss=int(n_bss),
+        n_channels=int(n_channels),
+        stations_per_bss=int(stations_per_bss),
+    )
+    campus = CampusTestbed(
+        topology, CampusOptions(scheme=resolve(scheme), seed=int(seed))
+    )
+    flows = saturating_udp_download(campus)
+    window_us = campus.run(float(duration_s), float(warmup_s))
+    return campus_metrics(campus, flows, window_us)
+
+
 def demo_spec(
     duration_s: float = 1.0,
     warmup_s: float = 0.5,
@@ -110,6 +143,25 @@ def demo_spec(
         grid={"scheme": ["fifo", "fq_codel", "fq_mac", "airtime"]},
         fixed={"stations": "three", "duration_s": float(duration_s),
                "warmup_s": float(warmup_s)},
+        replications=replications,
+        base_seed=base_seed,
+    )
+
+
+def campus_spec(
+    duration_s: float = 1.5,
+    warmup_s: float = 0.5,
+    replications: int = 2,
+    base_seed: int = 1,
+) -> CampaignSpec:
+    """The built-in campus campaign: scheme sweep over a 3-BSS co-channel
+    cell cluster, reporting per-BSS Jain + sojourn tails per grid point."""
+    return CampaignSpec.make(
+        name="campus",
+        fn="repro.campaign.cells:campus_cell",
+        grid={"scheme": ["fifo", "airtime"]},
+        fixed={"n_bss": 3, "n_channels": 1, "stations_per_bss": 3,
+               "duration_s": float(duration_s), "warmup_s": float(warmup_s)},
         replications=replications,
         base_seed=base_seed,
     )

@@ -210,6 +210,15 @@ class PerStationCoDelTuner:
         self._params[station] = wanted
         self._last_change_us[station] = now_us
 
+    def forget(self, station: int) -> None:
+        """Drop state for a removed station (roaming handoff).
+
+        The hysteresis clock restarts if the station later re-joins this
+        cell, exactly as a fresh association would.
+        """
+        self._params.pop(station, None)
+        self._last_change_us.pop(station, None)
+
     def params_for(self, station: Optional[int]) -> CoDelParams:
         """Current CoDel parameters for ``station`` (default when unknown)."""
         if station is None:

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.experiments import (
     airtime_udp,
+    campus,
     fairness_index,
     fault_tolerance,
     latency,
@@ -141,6 +142,14 @@ def _run_fig11(duration: float, warmup: float, seed: int,
     )
 
 
+def _run_campus(duration: float, warmup: float, seed: int,
+                runner: Optional[Runner] = None) -> str:
+    return campus.format_table(
+        campus.run(duration_s=duration, warmup_s=warmup, seed=seed,
+                   runner=runner)
+    )
+
+
 ExperimentFn = Callable[..., str]
 
 #: Experiment id -> (description, default duration, default warmup, runner).
@@ -156,6 +165,8 @@ EXPERIMENTS: dict[str, tuple[str, float, float, ExperimentFn]] = {
     "fig11": ("web page-load times (Figure 11)", 40, 5, _run_fig11),
     "faults": ("fairness/latency under channel impairment and churn",
                10, 2, _run_faults),
+    "campus": ("multi-BSS campus: co-channel contention + roaming",
+               4, 1, _run_campus),
 }
 
 #: Experiments whose runner accepts a ``telemetry=`` kwarg.
@@ -566,8 +577,9 @@ def _campaign_main(argv: list[str]) -> int:
         "run", help="expand a campaign spec and execute it to completion"
     )
     run_p.add_argument("spec", metavar="SPEC",
-                       help="campaign spec JSON file, or 'demo' for the "
-                            "built-in four-scheme demo sweep")
+                       help="campaign spec JSON file, 'demo' for the "
+                            "built-in four-scheme demo sweep, or 'campus' "
+                            "for the multi-BSS scheme sweep")
     run_p.add_argument("--replications", type=int, default=None, metavar="N",
                        help="override the spec's replication count "
                             "(the hard cap in precision mode)")
@@ -738,6 +750,10 @@ def _campaign_main(argv: list[str]) -> int:
                 from repro.campaign.cells import demo_spec
 
                 spec = demo_spec()
+            elif args.spec == "campus":
+                from repro.campaign.cells import campus_spec
+
+                spec = campus_spec()
             else:
                 try:
                     spec = CampaignSpec.from_json(args.spec)

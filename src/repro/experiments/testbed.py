@@ -21,9 +21,13 @@ from repro.faults import (
     StallDetector,
     audit_conservation,
 )
-from repro.mac.ap import AccessPoint, APConfig, Scheme
-from repro.mac.medium import Medium
+from repro.mac.ap import APConfig, Scheme
 from repro.mac.station import ClientStation
+from repro.topology.build import (
+    build_bss_stack,
+    build_medium,
+    medium_stream_name,
+)
 from repro.net.wire import DEFAULT_WIRE_DELAY_US, Server, WiredNetwork
 from repro.phy.rates import PhyRate
 from repro.sim.engine import Simulator
@@ -80,9 +84,11 @@ class Testbed:
                 channel = _channels.get(agg.station)
                 return channel.error_prob(agg.rate) if channel else 0.0
 
-        self.medium = Medium(
+        # Medium + AP + stations come from the shared topology builders
+        # (the campus testbed builds every cell from the same code path).
+        self.medium = build_medium(
             self.sim,
-            self.rng.stream("medium"),
+            self.rng.stream(medium_stream_name(0)),
             error_rate=options.error_rate,
             error_prob_fn=error_prob_fn,
         )
@@ -91,14 +97,15 @@ class Testbed:
             config = replace(options.ap_config, scheme=options.scheme)
         else:
             config = APConfig(scheme=options.scheme)
-        self.ap = AccessPoint(self.sim, self.medium, config)
-
-        self.stations: Dict[int, ClientStation] = {}
-        for index, rate in enumerate(rates):
-            station = ClientStation(index, rate, self.sim,
-                                    queueing=options.client_queueing)
-            self.ap.add_station(station)
-            self.stations[index] = station
+        stack = build_bss_stack(
+            self.sim,
+            self.medium,
+            list(enumerate(rates)),
+            config=config,
+            client_queueing=options.client_queueing,
+        )
+        self.ap = stack.ap
+        self.stations: Dict[int, ClientStation] = stack.stations
 
         self.server = Server()
         self.network = WiredNetwork(

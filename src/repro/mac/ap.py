@@ -94,11 +94,15 @@ class AccessPoint:
         sim: Simulator,
         medium: Medium,
         config: Optional[APConfig] = None,
+        bss: int = 0,
     ) -> None:
         self.sim = sim
         self.medium = medium
         self.config = config or APConfig()
         self.scheme = self.config.scheme
+        #: BSS id of this cell; co-channel BSSes share the medium and are
+        #: told apart by this id in transmission records.
+        self.bss = bss
 
         self.stations: Dict[int, ClientStation] = {}
         self._rates: Dict[int, object] = {}
@@ -183,7 +187,7 @@ class AccessPoint:
         #: hardware queue; re-woken on the next fill pass.
         self._parked: set[int] = set()
 
-        medium.attach(self, is_ap=True)
+        medium.attach(self, is_ap=True, bss=bss)
 
     # ------------------------------------------------------------------
     # Topology
@@ -191,6 +195,8 @@ class AccessPoint:
     def add_station(self, station: ClientStation) -> None:
         if station.index in self.stations:
             raise ValueError(f"station {station.index} already attached")
+        # A station roaming back clears the remove_station tombstone.
+        self._detached.discard(station.index)
         self.stations[station.index] = station
         self._rates[station.index] = station.rate
         station.attach(self.medium, self)
@@ -590,6 +596,37 @@ class AccessPoint:
             self._pull_driver()
         self._fill_hw()
         self.medium.notify_backlog()
+
+    def remove_station(self, station: int) -> int:
+        """Remove ``station`` from this BSS entirely (roaming handoff).
+
+        Flushes its AP-side queues through the drop funnel (a real AP
+        tears down the TIDs on disassociation), detaches the node from
+        the medium, and forgets it so the :class:`ClientStation` object
+        can be re-added to another AP.  The index stays in the detached
+        set as a tombstone: with the shared FIFO/fq_codel qdiscs, residue
+        destined to the departed station can still drain into the driver
+        later, and the tombstone keeps it from ever being scheduled
+        (:meth:`add_station` clears it if the station roams back).
+        Returns the number of packets flushed.
+        """
+        if station not in self.stations:
+            raise ValueError(f"no such station: {station}")
+        # A parked/dozing station still owns queued packets: clear the
+        # detached flag first so detach_station re-runs the full flush.
+        self._detached.discard(station)
+        flushed = self.detach_station(station, mode="flush")
+        node = self.stations.pop(station)
+        self._rates.pop(station, None)
+        self._rate_controllers.pop(station, None)
+        self._vo_queues.pop(station, None)
+        self._parked.discard(station)
+        self.codel_tuner.forget(station)
+        self.medium.detach(node)
+        node.medium = None
+        node.ap = None
+        node.detached = False
+        return flushed
 
     # ------------------------------------------------------------------
     # Uplink (stations -> AP -> wire)

@@ -89,6 +89,9 @@ class TransmissionRecord:
     retries: int
     #: Aggregate sequence id (joins trace records across layers).
     agg_seq: int = -1
+    #: BSS the transmitter belongs to (multi-BSS topologies share one
+    #: medium per channel; single-AP setups always report BSS 0).
+    bss: int = 0
 
 
 Observer = Callable[[TransmissionRecord], None]
@@ -115,7 +118,7 @@ class Medium:
         #: ``error_rate`` when set.
         self.error_prob_fn = error_prob_fn
         self.collisions = collisions
-        self._contenders: List[tuple[Contender, bool]] = []
+        self._contenders: List[tuple[Contender, bool, int]] = []
         self._observers: List[Observer] = []
         self._busy = False
         self._arbitration_scheduled = False
@@ -125,15 +128,42 @@ class Medium:
         self.collision_count = 0
         #: Binary-exponential-backoff state: per-contender current CW.
         self._cw: dict[int, int] = {}
-        #: Aggregates currently on the air, as (agg, is_ap) pairs —
+        #: Aggregates currently on the air, as (agg, is_ap, bss) triples —
         #: conservation audits must count a mid-flight frame as resident.
-        self._inflight: list[tuple[Aggregate, bool]] = []
+        self._inflight: list[tuple[Aggregate, bool, int]] = []
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def attach(self, contender: Contender, is_ap: bool) -> None:
-        self._contenders.append((contender, is_ap))
+    def attach(self, contender: Contender, is_ap: bool, bss: int = 0) -> None:
+        """Register a transmitter on this channel.
+
+        Co-channel BSSes share one medium, so several ``is_ap=True``
+        contenders are legal — but only one per BSS id: two APs claiming
+        the same cell would double-count downlink airtime and break the
+        per-BSS conservation audit.
+        """
+        for existing, existing_is_ap, existing_bss in self._contenders:
+            if existing is contender:
+                raise ValueError("contender is already attached to this medium")
+            if is_ap and existing_is_ap and existing_bss == bss:
+                raise ValueError(
+                    f"BSS {bss} already has an AP attached to this medium"
+                )
+        self._contenders.append((contender, is_ap, bss))
+
+    def detach(self, contender: Contender) -> bool:
+        """Unregister a transmitter (roaming handoff). Idempotent.
+
+        Returns ``True`` when the contender was attached.  BEB state is
+        discarded so a station re-attaching elsewhere starts from CWmin.
+        """
+        for i, (existing, _is_ap, _bss) in enumerate(self._contenders):
+            if existing is contender:
+                del self._contenders[i]
+                self._cw.pop(id(contender), None)
+                return True
+        return False
 
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
@@ -141,19 +171,24 @@ class Medium:
     # ------------------------------------------------------------------
     # In-flight accounting
     # ------------------------------------------------------------------
-    def _track_inflight(self, agg: Aggregate, is_ap: bool) -> None:
-        self._inflight.append((agg, is_ap))
+    def _track_inflight(self, agg: Aggregate, is_ap: bool, bss: int) -> None:
+        self._inflight.append((agg, is_ap, bss))
 
     def _untrack_inflight(self, agg: Aggregate) -> None:
-        for i, (candidate, _is_ap) in enumerate(self._inflight):
+        for i, (candidate, _is_ap, _bss) in enumerate(self._inflight):
             if candidate is agg:
                 del self._inflight[i]
                 return
 
-    def inflight_downlink_packets(self) -> int:
-        """Packets inside AP aggregates currently on the air."""
+    def inflight_downlink_packets(self, bss: Optional[int] = None) -> int:
+        """Packets inside AP aggregates currently on the air.
+
+        With ``bss`` set, counts only that cell's aggregates.
+        """
         return sum(
-            agg.n_packets for agg, is_ap in self._inflight if is_ap
+            agg.n_packets
+            for agg, is_ap, agg_bss in self._inflight
+            if is_ap and (bss is None or agg_bss == bss)
         )
 
     # ------------------------------------------------------------------
@@ -190,13 +225,15 @@ class Medium:
         self._arbitration_scheduled = False
         if self._busy:
             return
-        draws: List[tuple[float, float, Contender, bool]] = []
-        for contender, is_ap in self._contenders:
+        draws: List[tuple[float, float, Contender, bool, int]] = []
+        for contender, is_ap, bss in self._contenders:
             if not contender.has_frames_pending():
                 continue
             ac = contender.pending_access_category()
             slots = self.rng.randint(0, self._cw_for(contender, ac))
-            draws.append((float(slots), self.rng.random(), contender, is_ap))
+            draws.append(
+                (float(slots), self.rng.random(), contender, is_ap, bss)
+            )
         if not draws:
             return
 
@@ -208,59 +245,61 @@ class Medium:
         if self.collisions:
             tied = [d for d in draws if d[0] == min_slots]
             if len(tied) > 1:
-                participants = [(d[2], d[3]) for d in tied]
+                participants = [(d[2], d[3], d[4]) for d in tied]
                 self.sim.schedule(
                     wait_us, lambda: self._start_collision(participants, wait_us)
                 )
                 return
         self.sim.schedule_call(
-            wait_us, self._start_entry, (first[2], first[3], wait_us)
+            wait_us, self._start_entry, (first[2], first[3], first[4], wait_us)
         )
 
     def _start_entry(self, args: tuple) -> None:
-        self._start(args[0], args[1], args[2])
+        self._start(args[0], args[1], args[2], args[3])
 
     def _complete_entry(self, args: tuple) -> None:
-        self._complete(args[0], args[1], args[2], args[3])
+        self._complete(args[0], args[1], args[2], args[3], args[4])
 
     def _start_collision(
-        self, participants: List[tuple[Contender, bool]], wait_us: float
+        self, participants: List[tuple[Contender, bool, int]], wait_us: float
     ) -> None:
         """Several nodes chose the same slot: all transmissions fail."""
-        started: List[tuple[Contender, bool, Aggregate]] = []
-        for contender, is_ap in participants:
+        started: List[tuple[Contender, bool, int, Aggregate]] = []
+        for contender, is_ap, bss in participants:
             agg = contender.start_txop()
             if agg is not None:
-                started.append((contender, is_ap, agg))
-                self._track_inflight(agg, is_ap)
+                started.append((contender, is_ap, bss, agg))
+                self._track_inflight(agg, is_ap, bss)
         if not started:
             self._busy = False
             self.notify_backlog()
             return
         if len(started) == 1:
             # Everyone else's frames evaporated: a normal transmission.
-            contender, is_ap, agg = started[0]
+            contender, is_ap, bss, agg = started[0]
             duration = agg.duration_us
             self.sim.schedule(
                 duration,
-                lambda: self._complete_started(contender, is_ap, agg, wait_us),
+                lambda: self._complete_started(
+                    contender, is_ap, bss, agg, wait_us
+                ),
             )
             return
         self.collision_count += 1
-        duration = max(agg.duration_us for _, _, agg in started)
+        duration = max(agg.duration_us for _, _, _, agg in started)
         self.sim.schedule(
             duration, lambda: self._finish_collision(started, wait_us, duration)
         )
 
     def _finish_collision(
         self,
-        started: List[tuple[Contender, bool, Aggregate]],
+        started: List[tuple[Contender, bool, int, Aggregate]],
         wait_us: float,
         duration: float,
     ) -> None:
         self.busy_time_us += duration + wait_us
         self._busy = False
-        for contender, is_ap, agg in started:
+        for contender, is_ap, bss, agg in started:
             self._untrack_inflight(agg)
             self._beb_on_collision(contender, agg.ac)
             record = TransmissionRecord(
@@ -275,13 +314,16 @@ class Medium:
                 success=False,
                 retries=agg.retries,
                 agg_seq=agg.seq,
+                bss=bss,
             )
             contender.txop_complete(agg, False)
             for observer in self._observers:
                 observer(record)
         self.notify_backlog()
 
-    def _start(self, winner: Contender, is_ap: bool, wait_us: float) -> None:
+    def _start(
+        self, winner: Contender, is_ap: bool, bss: int, wait_us: float
+    ) -> None:
         agg = winner.start_txop()
         if agg is None:
             # The node's pending frames evaporated between arbitration and
@@ -289,14 +331,19 @@ class Medium:
             self._busy = False
             self.notify_backlog()
             return
-        self._track_inflight(agg, is_ap)
+        self._track_inflight(agg, is_ap, bss)
         duration = agg.duration_us
         self.sim.schedule_call(
-            duration, self._complete_entry, (winner, is_ap, agg, wait_us)
+            duration, self._complete_entry, (winner, is_ap, bss, agg, wait_us)
         )
 
     def _complete(
-        self, winner: Contender, is_ap: bool, agg: Aggregate, wait_us: float
+        self,
+        winner: Contender,
+        is_ap: bool,
+        bss: int,
+        agg: Aggregate,
+        wait_us: float,
     ) -> None:
         if self.error_prob_fn is not None:
             error_prob = self.error_prob_fn(agg)
@@ -316,6 +363,7 @@ class Medium:
             success=success,
             retries=agg.retries,
             agg_seq=agg.seq,
+            bss=bss,
         )
         self.busy_time_us += record.airtime_us
         self._busy = False

@@ -90,7 +90,7 @@ class ClientStation:
     def attach(self, medium: "Medium", ap: "AccessPoint") -> None:
         self.medium = medium
         self.ap = ap
-        medium.attach(self, is_ap=False)
+        medium.attach(self, is_ap=False, bss=getattr(ap, "bss", 0))
 
     def register_handler(self, flow_id: int, handler: PacketHandler) -> None:
         """Deliver received packets of ``flow_id`` to ``handler``."""

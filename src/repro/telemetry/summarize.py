@@ -93,6 +93,10 @@ class TraceSummary:
     fault_events: Dict[str, int] = field(default_factory=dict)
     #: Conservation-audit verdicts seen in the trace (ok flags, in order).
     conservation_ok: List[bool] = field(default_factory=list)
+    #: Station -> BSS id, harvested from multi-BSS ``tx`` records.  Empty
+    #: for single-BSS traces (their tx records carry no ``bss`` field),
+    #: which keeps legacy summaries byte-identical.
+    station_bss: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def airtime_shares(self) -> Dict[int, float]:
@@ -135,6 +139,9 @@ def summarize_records(records: List[Mapping[str, Any]]) -> TraceSummary:
 
         if cat == "tx" and index > meas_index:
             station = record["station"]
+            bss = record.get("bss")
+            if bss is not None:
+                summary.station_bss[station] = bss
             tx = summary.stations.get(station)
             if tx is None:
                 tx = summary.stations[station] = _StationTx()
@@ -241,12 +248,42 @@ def format_summary(summary: TraceSummary, title: str = "") -> str:
         shares = summary.airtime_shares()
         for station in sorted(summary.stations):
             tx = summary.stations[station]
-            lines.append(
+            row = (
                 f"{station:>8} {tx.transmissions:>7} "
                 f"{tx.airtime_us / 1e3:>11.2f} {shares[station]:>7.1%} "
                 f"{tx.downlink_airtime_us / 1e3:>9.2f} "
                 f"{tx.uplink_airtime_us / 1e3:>9.2f} "
                 f"{tx.payload_bytes:>12} {tx.mean_aggregation:>9.1f}"
+            )
+            if summary.station_bss:
+                row += f"  bss={summary.station_bss.get(station, '?')}"
+            lines.append(row)
+
+    # Multi-BSS traces (tx records carrying a ``bss`` field) additionally
+    # roll the airtime table up per cell; single-BSS traces never reach
+    # this branch, so their output is unchanged.
+    if summary.station_bss:
+        from repro.analysis.fairness import jain_index
+
+        per_bss: Dict[int, List[int]] = {}
+        for station, bss in summary.station_bss.items():
+            per_bss.setdefault(bss, []).append(station)
+        total_airtime = sum(s.airtime_us for s in summary.stations.values())
+        lines.append("")
+        lines.append("Per-BSS rollup (measurement window):")
+        lines.append(
+            f"{'bss':>4} {'stations':>8} {'airtime_ms':>11} "
+            f"{'share':>7} {'jain':>7}"
+        )
+        for bss in sorted(per_bss):
+            members = sorted(per_bss[bss])
+            airtimes = [summary.stations[s].airtime_us for s in members
+                        if s in summary.stations]
+            bss_airtime = sum(airtimes)
+            share = bss_airtime / total_airtime if total_airtime > 0 else 0.0
+            lines.append(
+                f"{bss:>4} {len(members):>8} {bss_airtime / 1e3:>11.2f} "
+                f"{share:>7.1%} {jain_index(airtimes):>7.3f}"
             )
 
     if summary.queues:

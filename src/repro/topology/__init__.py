@@ -1,0 +1,31 @@
+"""Multi-BSS topology layer: declarative campus scenarios.
+
+``spec`` describes topologies (BSSes, channels, station placement,
+roaming/churn schedules), ``build`` holds the shared medium/AP/station
+construction helpers both the legacy single-AP testbed and the campus
+testbed are wired from, and ``campus`` realises a topology as a running
+multi-cell simulation.
+"""
+
+from repro.topology.build import (
+    BssStack,
+    build_bss_stack,
+    build_medium,
+    medium_stream_name,
+)
+from repro.topology.campus import CampusNetwork, CampusOptions, CampusTestbed
+from repro.topology.spec import BssSpec, RoamEvent, Topology, campus_topology
+
+__all__ = [
+    "BssSpec",
+    "BssStack",
+    "CampusNetwork",
+    "CampusOptions",
+    "CampusTestbed",
+    "RoamEvent",
+    "Topology",
+    "build_bss_stack",
+    "build_medium",
+    "campus_topology",
+    "medium_stream_name",
+]

@@ -1,0 +1,91 @@
+"""Shared construction helpers for single-AP and campus testbeds.
+
+This is the ``mac.medium``/``mac.ap`` wiring that used to live inline in
+:class:`repro.experiments.testbed.Testbed`, refactored out so the
+multi-BSS :class:`~repro.topology.campus.CampusTestbed` builds every
+cell from the same code path.  Construction order is load-bearing:
+component creation draws nothing from the RNG, but the *attach* order
+fixes the medium's contender iteration order, which fixes the backoff
+draw order — the single-BSS byte-identity guarantee depends on building
+the AP first and stations in ascending index order, exactly as the
+legacy testbed always has.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mac.ap import AccessPoint, APConfig
+from repro.mac.medium import Medium
+from repro.mac.station import ClientStation
+from repro.phy.rates import PhyRate
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "BssStack",
+    "build_bss_stack",
+    "build_medium",
+    "medium_stream_name",
+]
+
+
+def medium_stream_name(channel: int) -> str:
+    """RNG stream name for a channel's medium.
+
+    Channel 0 keeps the historical ``"medium"`` name so single-BSS
+    topologies replay the legacy testbed's exact backoff sequence; other
+    channels get their own independent stream.
+    """
+    return "medium" if channel == 0 else f"medium.ch{channel}"
+
+
+def build_medium(
+    sim: Simulator,
+    rng: random.Random,
+    error_rate: float = 0.0,
+    error_prob_fn: Optional[Callable] = None,
+    collisions: bool = False,
+) -> Medium:
+    """One shared channel (all co-channel BSSes contend on it)."""
+    return Medium(
+        sim,
+        rng,
+        error_rate=error_rate,
+        error_prob_fn=error_prob_fn,
+        collisions=collisions,
+    )
+
+
+@dataclass
+class BssStack:
+    """One built cell: the AP plus its stations, keyed by global index."""
+
+    bss_id: int
+    channel: int
+    ap: AccessPoint
+    stations: Dict[int, ClientStation] = field(default_factory=dict)
+
+
+def build_bss_stack(
+    sim: Simulator,
+    medium: Medium,
+    stations: Sequence[Tuple[int, PhyRate]],
+    config: Optional[APConfig] = None,
+    client_queueing: str = "fq_codel",
+    bss_id: int = 0,
+    channel: int = 0,
+) -> BssStack:
+    """Build one BSS: AP under ``config``, then stations in given order.
+
+    ``stations`` is (global index, PHY rate) pairs; indices must be
+    unique campus-wide so roaming can move a station between cells.
+    """
+    ap = AccessPoint(sim, medium, config, bss=bss_id)
+    stack = BssStack(bss_id=bss_id, channel=channel, ap=ap)
+    for index, rate in stations:
+        station = ClientStation(index, rate, sim, queueing=client_queueing)
+        ap.add_station(station)
+        stack.stations[index] = station
+    return stack

@@ -1,0 +1,481 @@
+"""Multi-BSS campus simulation: shared channels, roaming, per-BSS stats.
+
+A :class:`CampusTestbed` realises a :class:`~repro.topology.spec.Topology`:
+one :class:`~repro.mac.medium.Medium` per channel (co-channel cells
+contend through the existing DCF arbitration), one AP/station/qdisc
+stack per BSS built by :mod:`repro.topology.build`, a routing
+:class:`CampusNetwork` that follows stations as they roam, and per-BSS
+airtime trackers feeding the Jain/tail-latency report.
+
+Determinism contract (tested in ``tests/test_topology*.py``):
+
+* a single-BSS topology on channel 0 replays the legacy
+  :class:`~repro.experiments.testbed.Testbed` byte-for-byte — same RNG
+  stream names, same construction order, same trace records;
+* BSSes on disjoint channels produce identical per-BSS results whether
+  simulated jointly or as separate :meth:`Topology.channel_shards`,
+  because each channel owns an independent RNG stream and global station
+  indices are preserved under restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.stats import AirtimeTracker
+from repro.core.packet import Packet, reset_packet_counters
+from repro.faults import ConservationReport, Churn, InvariantViolation
+from repro.mac.ap import APConfig, Scheme
+from repro.mac.station import ClientStation
+from repro.net.wire import DEFAULT_WIRE_DELAY_US, Server
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.telemetry import PeriodicSampler, Telemetry, TelemetryConfig
+from repro.topology.build import (
+    BssStack,
+    build_bss_stack,
+    build_medium,
+    medium_stream_name,
+)
+from repro.topology.spec import RoamEvent, Topology
+
+__all__ = ["CampusNetwork", "CampusOptions", "CampusTestbed"]
+
+#: Downlink drop layers counted by the conservation audit (matches
+#: :mod:`repro.faults.watchdog`).
+_DOWNLINK_LAYERS = ("qdisc", "mac", "hw")
+
+
+@dataclass(frozen=True)
+class CampusOptions:
+    """Campus-wide knobs (per-cell shape lives in the Topology)."""
+
+    scheme: Scheme = Scheme.AIRTIME
+    seed: int = 1
+    wire_delay_us: float = DEFAULT_WIRE_DELAY_US
+    error_rate: float = 0.0
+    ap_config: Optional[APConfig] = None
+    client_queueing: str = "fq_codel"
+    telemetry: Optional[TelemetryConfig] = None
+    #: Strict mode: a failed conservation audit raises
+    #: :class:`InvariantViolation` instead of being recorded.
+    strict: bool = False
+
+
+class CampusNetwork:
+    """Wired backhaul shared by every AP, with roam-aware routing.
+
+    Implements the :class:`~repro.net.wire.WiredNetwork` interface the
+    traffic generators cache (``_deliver_down`` + ``delay_us``), but
+    resolves the serving AP *at delivery time*: a packet that was on the
+    wire when its destination roamed is handed to the new cell, exactly
+    like a campus switch re-learning a MAC table entry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Server,
+        aps: Dict[int, "object"],
+        serving: Dict[int, int],
+        delay_us: float = DEFAULT_WIRE_DELAY_US,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.delay_us = delay_us
+        self._aps = aps
+        self._serving = serving
+        server.network = self
+        for ap in aps.values():
+            ap.set_network(self)
+        #: Flow-facing entry point (cached by UdpDownloadFlow.start).
+        self._deliver_down = self._route_down
+        self._deliver_up = server.receive
+        self._schedule_call = sim.schedule_call
+
+    def _route_down(self, pkt: Packet) -> None:
+        self._aps[self._serving[pkt.dst_station]].send_downstream(pkt)
+
+    def to_ap(self, pkt: Packet) -> None:
+        """Server -> (currently serving) AP, after the wire delay."""
+        pkt.created_us = self.sim.now
+        self._schedule_call(self.delay_us, self._route_down, pkt)
+
+    def to_server(self, pkt: Packet) -> None:
+        """AP -> server, after the wire delay."""
+        self._schedule_call(self.delay_us, self._deliver_up, pkt)
+
+
+class CampusTestbed:
+    """A fully wired multi-BSS simulation."""
+
+    def __init__(self, topology: Topology, options: CampusOptions) -> None:
+        self.topology = topology
+        self.options = options
+        single = topology.single_bss
+        reset_packet_counters()
+        self.sim = Simulator()
+        self.rng = RngFactory(options.seed)
+
+        # --- one medium per channel, ascending channel order ----------
+        self.mediums = {
+            channel: build_medium(
+                self.sim,
+                self.rng.stream(medium_stream_name(channel)),
+                error_rate=options.error_rate,
+            )
+            for channel in topology.channels()
+        }
+
+        # --- per-BSS stacks, declaration order ------------------------
+        if options.ap_config is not None:
+            config = replace(options.ap_config, scheme=options.scheme)
+        else:
+            config = APConfig(scheme=options.scheme)
+        self.bss: Dict[int, BssStack] = {}
+        self.stations: Dict[int, ClientStation] = {}
+        #: Station -> bss id currently serving it (updated on roam).
+        self.serving: Dict[int, int] = {}
+        for spec in topology.bsses:
+            stack = build_bss_stack(
+                self.sim,
+                self.mediums[spec.channel],
+                spec.station_rates(),
+                config=config,
+                client_queueing=options.client_queueing,
+                bss_id=spec.bss_id,
+                channel=spec.channel,
+            )
+            self.bss[spec.bss_id] = stack
+            self.stations.update(stack.stations)
+            for index in stack.stations:
+                self.serving[index] = spec.bss_id
+
+        # --- shared backhaul ------------------------------------------
+        self.server = Server()
+        self.network = CampusNetwork(
+            self.sim,
+            self.server,
+            {bss_id: stack.ap for bss_id, stack in self.bss.items()},
+            self.serving,
+            delay_us=options.wire_delay_us,
+        )
+
+        # --- per-BSS airtime accounting -------------------------------
+        self.trackers: Dict[int, AirtimeTracker] = {}
+        for spec in topology.bsses:
+            tracker = AirtimeTracker()
+            self.trackers[spec.bss_id] = tracker
+            medium = self.mediums[spec.channel]
+            if single:
+                # Exactly the legacy observer — byte-identical replay.
+                medium.add_observer(tracker.on_transmission)
+            else:
+                medium.add_observer(self._bss_filter(tracker, spec.bss_id))
+        #: Legacy alias: the single-BSS campus quacks like a Testbed.
+        self.tracker = self.trackers[topology.bsses[0].bss_id]
+
+        self.warmup_resets: List[Callable[[], None]] = []
+
+        # --- telemetry -------------------------------------------------
+        self.telemetry: Optional[Telemetry] = None
+        self.sampler: Optional[PeriodicSampler] = None
+        if options.telemetry is not None and options.telemetry.active:
+            self.telemetry = Telemetry(options.telemetry)
+            for stack in self.bss.values():
+                stack.ap.set_trace(self.telemetry)
+            tx_channel = self.telemetry.channel("tx")
+            if tx_channel is not None:
+                self._wire_tx_trace(tx_channel, single)
+            if self.telemetry.ledger is not None and single:
+                # The double-entry ledger audits one AP against the
+                # analytical model; multi-BSS runs skip it (per-BSS
+                # conservation is audited channel-by-channel instead).
+                only = self.topology.bsses[0]
+                self.mediums[only.channel].add_observer(
+                    self.telemetry.ledger.on_transmission
+                )
+                self.bss[only.bss_id].ap.set_ledger(self.telemetry.ledger)
+            if self.telemetry.metrics is not None:
+                self.sampler = PeriodicSampler(
+                    self.sim, self.telemetry.metrics,
+                    interval_ms=options.telemetry.sample_interval_ms,
+                )
+                self.sampler.add_probe(self._sample_queues)
+                self.sampler.add_probe(self._sample_stations)
+                self.sampler.start()
+
+        # --- roaming / churn schedules --------------------------------
+        #: (time_us, station, from_bss, to_bss, flushed) per completed roam.
+        self.roam_log: List[Tuple[float, int, int, int, int]] = []
+        self.churn_events = 0
+        self.conservation: Optional[Dict[str, ConservationReport]] = None
+        for event in topology.roam:
+            self.sim.schedule_call(
+                self.sim.sec(event.at_s), self._roam_entry, event
+            )
+        for event in topology.churn:
+            self.sim.schedule_call(
+                self.sim.sec(event.detach_s), self._churn_detach, event
+            )
+            if event.reattach_s is not None:
+                self.sim.schedule_call(
+                    self.sim.sec(event.reattach_s), self._churn_reattach, event
+                )
+        #: Channel busy-time baselines captured when measurement starts.
+        self._busy_baseline: Dict[int, float] = {c: 0.0 for c in self.mediums}
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bss_filter(tracker: AirtimeTracker, bss_id: int):
+        def on_tx(record, _tracker=tracker, _bss=bss_id):
+            if record.bss == _bss:
+                _tracker.on_transmission(record)
+        return on_tx
+
+    def _wire_tx_trace(self, tx_channel, single: bool) -> None:
+        """Emit tx trace records; the legacy 10-field shape when a single
+        BSS runs (byte-identity), plus a trailing ``bss`` field otherwise."""
+        shape = [
+            ("station", "q"), ("airtime_us", "d"), ("tx_us", "d"),
+            ("down", "b"), ("agg", "q"), ("n_pkts", "q"),
+            ("bytes", "q"), ("ac", "s"), ("ok", "b"), ("retries", "q"),
+        ]
+        if single:
+            em_tx = tx_channel.emitter("tx", tuple(shape))
+
+            def on_tx(rec, _emit=em_tx):
+                _emit(
+                    rec.start_us + rec.airtime_us,
+                    rec.station, rec.airtime_us, rec.tx_time_us,
+                    rec.downlink, rec.agg_seq, rec.n_packets,
+                    rec.payload_bytes, rec.ac.name, rec.success,
+                    rec.retries,
+                )
+        else:
+            em_tx = tx_channel.emitter("tx", tuple(shape + [("bss", "q")]))
+
+            def on_tx(rec, _emit=em_tx):
+                _emit(
+                    rec.start_us + rec.airtime_us,
+                    rec.station, rec.airtime_us, rec.tx_time_us,
+                    rec.downlink, rec.agg_seq, rec.n_packets,
+                    rec.payload_bytes, rec.ac.name, rec.success,
+                    rec.retries, rec.bss,
+                )
+        for medium in self.mediums.values():
+            medium.add_observer(on_tx)
+
+    # ------------------------------------------------------------------
+    # Samplers (legacy keys when single-BSS; bss-prefixed otherwise)
+    # ------------------------------------------------------------------
+    def _sample_queues(self) -> Dict[str, float]:
+        single = self.topology.single_bss
+        out: Dict[str, float] = {}
+        for bss_id in self.bss:
+            stack = self.bss[bss_id]
+            prefix = "" if single else f"bss{bss_id}."
+            out[f"{prefix}ap_queued_packets"] = stack.ap.total_queued_packets()
+            out[f"{prefix}hw_occupancy"] = stack.ap._hw.occupancy()
+            if single:
+                out["sim_heap_len"] = self.sim.heap_len
+            if stack.ap.driver is not None:
+                out[f"{prefix}driver_backlog"] = stack.ap.driver.backlog
+        if not single:
+            out["sim_heap_len"] = self.sim.heap_len
+        return out
+
+    def _sample_stations(self) -> Dict[str, float]:
+        single = self.topology.single_bss
+        out: Dict[str, float] = {}
+        for bss_id in self.bss:
+            stack = self.bss[bss_id]
+            prefix = "" if single else f"bss{bss_id}."
+            snapshot = stack.ap.scheduler.deficit_snapshot()
+            for station, deficit in snapshot.items():
+                out[f"{prefix}sched_deficit_us.{station}"] = deficit
+            for station, airtime in self.trackers[bss_id].airtime_us.items():
+                out[f"{prefix}airtime_us.{station}"] = airtime
+            if stack.ap.driver is not None:
+                occupancy = stack.ap.driver.occupancy_by_station()
+                for station, n in occupancy.items():
+                    out[f"{prefix}driver_occupancy.{station}"] = n
+        return out
+
+    def finish_telemetry(self) -> Optional[Dict]:
+        """Stop sampling, flush trace/metrics, return the summary dict."""
+        if self.telemetry is None:
+            return None
+        if self.sampler is not None:
+            self.sampler.stop()
+        return self.telemetry.finish()
+
+    # ------------------------------------------------------------------
+    # Roaming / churn
+    # ------------------------------------------------------------------
+    def roam(self, station: int, to_bss: int) -> int:
+        """Move ``station`` to ``to_bss`` now; returns packets flushed.
+
+        Disassociation flushes the source cell's queues for the station
+        through the drop funnel (PR-3 ``detach`` semantics), then the
+        station associates with the target cell and its pending uplink
+        backlog re-arms the new channel.
+        """
+        from_bss = self.serving[station]
+        if to_bss == from_bss:
+            return 0
+        if to_bss not in self.bss:
+            raise ValueError(f"no such BSS: {to_bss}")
+        source = self.bss[from_bss]
+        target = self.bss[to_bss]
+        node = source.stations.pop(station)
+        flushed = source.ap.remove_station(station)
+        self.serving[station] = to_bss
+        target.ap.add_station(node)
+        target.stations[station] = node
+        # Wake the new channel for any uplink backlog carried across.
+        node.set_detached(False)
+        self.roam_log.append((self.sim.now, station, from_bss, to_bss, flushed))
+        return flushed
+
+    def _roam_entry(self, event: RoamEvent) -> None:
+        self.roam(event.station, event.to_bss)
+
+    def _churn_detach(self, event: Churn) -> None:
+        self.churn_events += 1
+        ap = self.bss[self.serving[event.station]].ap
+        ap.detach_station(event.station, mode=event.mode)
+
+    def _churn_reattach(self, event: Churn) -> None:
+        ap = self.bss[self.serving[event.station]].ap
+        ap.reattach_station(event.station)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def audit_conservation(self) -> Dict[str, ConservationReport]:
+        """Packet conservation per channel shard.
+
+        Shards are closed under roaming (cross-channel roams merge their
+        shards), so every packet a shard's APs accepted is delivered,
+        dropped, or resident *inside that shard* — including frames
+        mid-flight on its mediums.
+        """
+        reports: Dict[str, ConservationReport] = {}
+        for shard in self.topology.channel_shards():
+            bss_ids = [spec.bss_id for spec in shard.bsses]
+            station_ids = [
+                index for spec in shard.bsses
+                for index in spec.station_indices()
+            ]
+            aps = [self.bss[bss_id].ap for bss_id in bss_ids]
+            enqueued = sum(ap.downlink_enqueued for ap in aps)
+            delivered = sum(
+                self.stations[index].rx_packets for index in station_ids
+            )
+            dropped = 0
+            for ap in aps:
+                for layer in _DOWNLINK_LAYERS:
+                    for count in ap.drops.counts.get(layer, {}).values():
+                        dropped += count
+            resident = sum(ap.resident_packets() for ap in aps)
+            resident += sum(
+                self.mediums[channel].inflight_downlink_packets()
+                for channel in shard.channels()
+            )
+            label = "ch" + "+".join(str(c) for c in shard.channels())
+            reports[label] = ConservationReport(
+                enqueued=enqueued,
+                delivered=delivered,
+                dropped=dropped,
+                resident=resident,
+            )
+        return reports
+
+    # ------------------------------------------------------------------
+    def add_warmup_reset(self, reset: Callable[[], None]) -> None:
+        self.warmup_resets.append(reset)
+
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> float:
+        """Warm-up then measurement window; returns the window in µs."""
+        ledger = self.telemetry.ledger if self.telemetry is not None else None
+        single = self.topology.single_bss
+        if warmup_s > 0:
+            self.sim.run(until_us=self.sim.sec(warmup_s))
+            for tracker in self.trackers.values():
+                tracker.reset()
+            for reset in self.warmup_resets:
+                reset()
+            if ledger is not None and single:
+                only = self.topology.bsses[0]
+                medium = self.mediums[only.channel]
+                ledger.reset(
+                    busy_baseline_us=medium.busy_time_us,
+                    collision_baseline=medium.collision_count,
+                )
+        if self.telemetry is not None:
+            self.telemetry.mark(self.sim.now, "measurement_start")
+        for channel, medium in self.mediums.items():
+            self._busy_baseline[channel] = medium.busy_time_us
+        start = self.sim.now
+        self.sim.run(until_us=self.sim.sec(warmup_s + duration_s))
+        window_us = self.sim.now - start
+        if self.options.strict or self.topology.roam or self.topology.churn:
+            self.conservation = self.audit_conservation()
+            channel = (
+                self.telemetry.channel("fault")
+                if self.telemetry is not None else None
+            )
+            for label, report in self.conservation.items():
+                if channel is not None:
+                    if single:
+                        # Legacy single-BSS record shape (byte-identity).
+                        channel.emit(
+                            self.sim.now, "conservation",
+                            ok=report.ok, balance=report.balance,
+                        )
+                    else:
+                        channel.emit(
+                            self.sim.now, "conservation",
+                            shard=label, ok=report.ok, balance=report.balance,
+                        )
+                if self.options.strict and not report.ok:
+                    raise InvariantViolation(f"[{label}] {report.describe()}")
+        if ledger is not None and single:
+            only = self.topology.bsses[0]
+            stack = self.bss[only.bss_id]
+            medium = self.mediums[only.channel]
+            audit = ledger.audit(
+                rates={s: st.rate for s, st in stack.stations.items()},
+                airtime_fairness=self.options.scheme is Scheme.AIRTIME,
+                tolerance=self.options.telemetry.ledger_tolerance,
+                medium_busy_us=medium.busy_time_us,
+                collision_count=medium.collision_count,
+            )
+            self.telemetry.ledger_audit = audit
+            channel = self.telemetry.channel("fault")
+            if channel is not None:
+                channel.emit(
+                    self.sim.now, "ledger_audit", ok=audit.ok,
+                    worst_delta=audit.worst_delta,
+                    model_checked=audit.model_checked,
+                )
+            if self.options.strict and not audit.ok:
+                raise InvariantViolation(audit.describe())
+        return window_us
+
+    # ------------------------------------------------------------------
+    def busy_share(self, channel: int, window_us: float) -> float:
+        """Channel occupancy over the measurement window."""
+        if window_us <= 0:
+            return 0.0
+        busy = self.mediums[channel].busy_time_us - self._busy_baseline[channel]
+        return busy / window_us
+
+
+# Library code, not test cases.
+CampusTestbed.__test__ = False
+CampusOptions.__test__ = False

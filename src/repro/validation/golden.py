@@ -39,6 +39,7 @@ __all__ = [
     "snapshot_latency",
     "snapshot_sparse",
     "snapshot_cell",
+    "snapshot_campus",
 ]
 
 
@@ -140,6 +141,46 @@ def snapshot_cell(mcs_indices: Tuple[int, ...], payload_bytes: int = 1500,
     }
 
 
+def snapshot_campus(layout: str, duration_s: float = 1.5,
+                    warmup_s: float = 0.5, seed: int = 1) -> Dict[str, object]:
+    """One pinned multi-BSS campus scenario under airtime fairness.
+
+    ``3bss-cochannel`` pins three cells contending on one channel;
+    ``4bss-2ch`` pins four cells across two channels with a
+    within-channel roam mid-run, so the snapshot also covers the
+    flush-and-reassociate path.
+    """
+    from repro.experiments.campus import campus_metrics
+    from repro.experiments.workloads import saturating_udp_download
+    from repro.topology import (
+        CampusOptions,
+        CampusTestbed,
+        RoamEvent,
+        campus_topology,
+    )
+
+    if layout == "3bss-cochannel":
+        topology = campus_topology(n_bss=3, n_channels=1, stations_per_bss=3)
+    elif layout == "4bss-2ch":
+        # BSS 0 and 2 share channel 0; the roam stays within-channel so
+        # both shards keep their packet-conservation closure.
+        topology = campus_topology(
+            n_bss=4, n_channels=2, stations_per_bss=3,
+            roam=(RoamEvent(station=0, at_s=warmup_s + duration_s / 2,
+                            to_bss=2),),
+        )
+    else:
+        raise ValueError(f"unknown campus layout {layout!r}")
+    campus = CampusTestbed(
+        topology, CampusOptions(scheme=Scheme.AIRTIME, seed=seed)
+    )
+    flows = saturating_udp_download(campus)
+    window_us = campus.run(duration_s, warmup_s)
+    metrics = campus_metrics(campus, flows, window_us)
+    metrics["layout"] = layout
+    return metrics
+
+
 # ----------------------------------------------------------------------
 # Corpus registry
 # ----------------------------------------------------------------------
@@ -182,6 +223,12 @@ def corpus() -> List[Tuple[str, RunSpec]]:
                      mcs_indices=(15, 15, 0), payload_bytes=300,
                      max_subframes=8),
     ))
+    for layout in ("3bss-cochannel", "4bss-2ch"):
+        entries.append((
+            f"campus-{layout}",
+            RunSpec.make("repro.validation.golden:snapshot_campus",
+                         label=f"golden/campus/{layout}", layout=layout),
+        ))
     return entries
 
 

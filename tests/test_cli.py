@@ -30,7 +30,7 @@ def test_unknown_experiment_rejected(capsys):
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-        "table2", "fig11", "faults",
+        "table2", "fig11", "faults", "campus",
     }
 
 
